@@ -1,0 +1,92 @@
+//! ML benches: ridge training (the Fig. 9 kernel), prediction (the
+//! per-epoch label generation the routers pay for) and dataset plumbing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dozznoc_ml::ridge::DEFAULT_LAMBDA_GRID;
+use dozznoc_ml::{Dataset, FeatureSet, RidgeRegression, TrainedModel};
+
+/// Deterministic synthetic dataset shaped like real collection output.
+fn synthetic_dataset(n: usize, dim: usize) -> Dataset {
+    let mut ds = Dataset::new(dim);
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let mut x = vec![1.0];
+        for _ in 1..dim {
+            x.push(next());
+        }
+        // Label correlated with the last feature (IBU-like).
+        let y = 0.7 * x[dim - 1] + 0.05 * next();
+        ds.push(&x, y);
+    }
+    ds
+}
+
+/// Full-41 ridge fit with λ sweep (one training pipeline invocation).
+fn ridge_train_full41(c: &mut Criterion) {
+    let train = synthetic_dataset(4_000, 41);
+    let val = synthetic_dataset(1_000, 41);
+    c.bench_function("ml/ridge_train_full41", |b| {
+        b.iter(|| {
+            black_box(RidgeRegression::fit_with_validation(
+                &train,
+                &val,
+                &DEFAULT_LAMBDA_GRID,
+            ))
+        })
+    });
+}
+
+/// Fig. 9 kernel: a bias+single-feature fit.
+fn fig9_single_feature_fit(c: &mut Criterion) {
+    let train = synthetic_dataset(4_000, 41).project(&[0, 40]);
+    let val = synthetic_dataset(1_000, 41).project(&[0, 40]);
+    c.bench_function("ml/fig9_single_feature_fit", |b| {
+        b.iter(|| {
+            black_box(RidgeRegression::fit_with_validation(
+                &train,
+                &val,
+                &DEFAULT_LAMBDA_GRID,
+            ))
+        })
+    });
+}
+
+/// The per-router, per-epoch label prediction (what the hardware unit
+/// does in 3–4 cycles).
+fn predict_label(c: &mut Criterion) {
+    let model = TrainedModel::new(
+        FeatureSet::Reduced5,
+        vec![0.01, 0.02, 0.01, -0.03, 0.8],
+        500,
+        0.1,
+        0.0,
+    );
+    let x = [1.0, 0.02, 0.03, 0.4, 0.12];
+    c.bench_function("ml/predict_label", |b| b.iter(|| black_box(model.predict(&x))));
+}
+
+/// Dataset projection (Full-41 → Reduced-5), used by every study.
+fn dataset_project(c: &mut Criterion) {
+    let ds = synthetic_dataset(4_000, 41);
+    let cols = FeatureSet::Reduced5.columns_in_full41();
+    c.bench_function("ml/dataset_project", |b| {
+        b.iter_batched(|| ds.clone(), |d| black_box(d.project(&cols)), BatchSize::LargeInput)
+    });
+}
+
+criterion_group!(
+    benches,
+    ridge_train_full41,
+    fig9_single_feature_fit,
+    predict_label,
+    dataset_project
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Energy-model benches: the Table V cost model and the ledger the
+//! simulator bills every event to (hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_power::{DsentCosts, EnergyLedger, MlOverhead};
+use dozznoc_types::{Mode, PowerState, RouterId, TickDelta, ACTIVE_MODES};
+
+/// Table V: cost lookups across the mode range.
+fn table5_costs(c: &mut Criterion) {
+    let costs = DsentCosts::paper();
+    c.bench_function("power/table5_costs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in ACTIVE_MODES {
+                acc += costs.static_power_w(black_box(m))
+                    + costs.dynamic_j_per_hop(black_box(m));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Ledger hop billing — executed once per flit-hop in the simulator.
+fn ledger_bill_hop(c: &mut Criterion) {
+    let mut ledger = EnergyLedger::new(64);
+    c.bench_function("power/ledger_bill_hop", |b| {
+        b.iter(|| ledger.bill_hop(black_box(RouterId(17)), black_box(Mode::M5)))
+    });
+}
+
+/// Ledger residency billing — executed on every state transition.
+fn ledger_bill_residency(c: &mut Criterion) {
+    let mut ledger = EnergyLedger::new(64);
+    let dt = TickDelta::from_ticks(4_000);
+    c.bench_function("power/ledger_bill_residency", |b| {
+        b.iter(|| {
+            ledger.bill_residency(
+                black_box(RouterId(3)),
+                black_box(PowerState::Active(Mode::M4)),
+                black_box(dt),
+            )
+        })
+    });
+}
+
+/// Full-ledger aggregation into a report (end of every run).
+fn ledger_report(c: &mut Criterion) {
+    let mut ledger = EnergyLedger::new(64);
+    for i in 0..64u16 {
+        ledger.bill_residency(
+            RouterId(i),
+            PowerState::Active(Mode::M7),
+            TickDelta::from_ticks(1_000_000),
+        );
+        for _ in 0..100 {
+            ledger.bill_hop(RouterId(i), Mode::M6);
+        }
+        ledger.bill_label(RouterId(i), &MlOverhead::for_features(5));
+    }
+    c.bench_function("power/ledger_report", |b| b.iter(|| black_box(ledger.report())));
+}
+
+criterion_group!(benches, table5_costs, ledger_bill_hop, ledger_bill_residency, ledger_report);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regulator-model benches: the kernels behind Tables I–III and
+//! Figs. 5–6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_power::regulator::delay::RegState;
+use dozznoc_power::regulator::waveform::{fig5a_wakeup, fig5b_switch};
+use dozznoc_power::{EfficiencyCurve, SimoRegulator, SwitchDelayTable, VfTable};
+use dozznoc_types::ACTIVE_MODES;
+
+/// Table I: rail selection + dropout over the whole mode range.
+fn table1_dropout(c: &mut Criterion) {
+    let simo = SimoRegulator::default();
+    c.bench_function("regulator/table1_dropout", |b| {
+        b.iter(|| black_box(simo.max_dropout_over_range()))
+    });
+}
+
+/// Table II: full 6×6 latency-matrix lookup sweep.
+fn table2_switch_matrix(c: &mut Criterion) {
+    let t = SwitchDelayTable::paper();
+    c.bench_function("regulator/table2_switch_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for from in RegState::all() {
+                for to in RegState::all() {
+                    acc += t.latency_ns(black_box(from), black_box(to));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Table III: cycle-cost table conversion to ticks for every mode.
+fn table3_cycle_costs(c: &mut Criterion) {
+    let t = VfTable::paper();
+    c.bench_function("regulator/table3_cycle_costs", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for m in ACTIVE_MODES {
+                let r = t.timings(black_box(m));
+                acc += r.t_switch().ticks() + r.t_wakeup().ticks() + r.t_breakeven().ticks();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Fig. 5: generating both transient waveforms at plot resolution.
+fn fig5_waveform(c: &mut Criterion) {
+    c.bench_function("regulator/fig5_waveform", |b| {
+        b.iter(|| {
+            let a = fig5a_wakeup().series(20.0, 400);
+            let s = fig5b_switch().series(20.0, 400);
+            black_box((a, s))
+        })
+    });
+}
+
+/// Fig. 6: sampling the efficiency comparison curve.
+fn fig6_efficiency(c: &mut Criterion) {
+    c.bench_function("regulator/fig6_efficiency", |b| {
+        b.iter(|| black_box(EfficiencyCurve::sample(40)))
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_dropout,
+    table2_switch_matrix,
+    table3_cycle_costs,
+    fig5_waveform,
+    fig6_efficiency
+);
+criterion_main!(benches);

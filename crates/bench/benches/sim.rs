@@ -1,0 +1,108 @@
+//! Simulation benches: the Fig. 7/Fig. 8/epoch-sweep kernels on
+//! bench-sized traces, plus the raw simulator throughput the whole
+//! reproduction rests on.
+//!
+//! Criterion sample sizes are reduced: each iteration is a full
+//! network simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_bench::{bench_config, bench_suite, bench_trace};
+use dozznoc_core::{run_model, ModelKind};
+use dozznoc_noc::{AlwaysMode, Network};
+use dozznoc_types::Mode;
+
+/// Raw simulator speed: one baseline run (every flit of the trace).
+fn baseline_run(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            let report = Network::new(bench_config())
+                .run(&trace, &mut AlwaysMode::new(Mode::M7))
+                .expect("bench run completes");
+            black_box(report.stats.flits_delivered)
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 7 kernel: a DozzNoC run producing the mode distribution.
+fn fig7_mode_distribution(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("fig7_mode_distribution", |b| {
+        b.iter(|| {
+            let report = run_model(bench_config(), &trace, ModelKind::DozzNoc, &suite);
+            black_box(report.stats.mode_distribution())
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 8 kernel: all five models over one benchmark trace.
+fn fig8_models(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("fig8_models", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for kind in dozznoc_core::model::ALL_MODELS {
+                let report = run_model(bench_config(), &trace, kind, &suite);
+                total += report.stats.flits_delivered;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Epoch-sweep kernel: the same model at two epoch granularities.
+fn epoch_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    for epoch in [100u64, 500] {
+        g.bench_function(format!("epoch_sweep/{epoch}"), |b| {
+            b.iter(|| {
+                let cfg = bench_config().with_epoch_cycles(epoch);
+                let report = run_model(cfg, &trace, ModelKind::DozzNoc, &suite);
+                black_box(report.stats.epochs)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Headline kernel: gated vs. ungated static energy on one trace.
+fn headline_gating(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("headline_gating", |b| {
+        b.iter(|| {
+            let gated = Network::new(bench_config())
+                .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
+                .expect("bench run completes");
+            black_box(gated.energy.static_j)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    baseline_run,
+    fig7_mode_distribution,
+    fig8_models,
+    epoch_sweep,
+    headline_gating
+);
+criterion_main!(benches);

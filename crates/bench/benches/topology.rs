@@ -1,0 +1,54 @@
+//! Topology benches: the routing functions executed on every head flit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_topology::{Topology, XyRouter};
+use dozznoc_types::{CoreId, RouterId};
+
+/// Single output-port computation (per head flit per hop).
+fn xy_output_port(c: &mut Criterion) {
+    let xy = XyRouter::new(Topology::mesh8x8());
+    c.bench_function("topology/xy_output_port", |b| {
+        b.iter(|| black_box(xy.output_port(black_box(RouterId(9)), black_box(CoreId(54)))))
+    });
+}
+
+/// Look-ahead next-hop computation (per head flit per hop).
+fn xy_next_hop(c: &mut Criterion) {
+    let xy = XyRouter::new(Topology::mesh8x8());
+    c.bench_function("topology/xy_next_hop", |b| {
+        b.iter(|| black_box(xy.next_hop(black_box(RouterId(9)), black_box(CoreId(54)))))
+    });
+}
+
+/// Full path enumeration (the Power Punch wake walk at injection).
+fn xy_full_path(c: &mut Criterion) {
+    let xy = XyRouter::new(Topology::mesh8x8());
+    c.bench_function("topology/xy_full_path", |b| {
+        b.iter(|| {
+            black_box(
+                xy.path(black_box(CoreId(0)), black_box(CoreId(63))).count(),
+            )
+        })
+    });
+}
+
+/// All-pairs hop distance (trace-generator neighbourhood setup).
+fn all_pairs_distance(c: &mut Criterion) {
+    let topo = Topology::mesh8x8();
+    c.bench_function("topology/all_pairs_distance", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in topo.routers() {
+                for bb in topo.routers() {
+                    acc += topo.hop_distance(a, bb);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, xy_output_port, xy_next_hop, xy_full_path, all_pairs_distance);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Traffic benches: synthetic benchmark generation and trace transforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_topology::Topology;
+use dozznoc_traffic::patterns::{generate, Pattern};
+use dozznoc_traffic::{Benchmark, TraceGenerator};
+
+/// Generating one synthetic PARSEC-like trace (the Fig. 7–8 inputs).
+fn generate_benchmark_trace(c: &mut Criterion) {
+    let generator = TraceGenerator::new(Topology::mesh8x8()).with_duration_ns(2_000);
+    c.bench_function("traffic/generate_benchmark_trace", |b| {
+        b.iter(|| black_box(generator.generate(Benchmark::X264)))
+    });
+}
+
+/// Generating a classic uniform-random pattern trace.
+fn generate_uniform_pattern(c: &mut Criterion) {
+    let topo = Topology::mesh8x8();
+    c.bench_function("traffic/generate_uniform_pattern", |b| {
+        b.iter(|| black_box(generate(Pattern::UniformRandom, &topo, 0.02, 1_000, 7)))
+    });
+}
+
+/// Compressing a trace (the Fig. 8(a,b) preprocessing).
+fn compress_trace(c: &mut Criterion) {
+    let trace = TraceGenerator::new(Topology::mesh8x8())
+        .with_duration_ns(4_000)
+        .generate(Benchmark::Fft);
+    c.bench_function("traffic/compress_trace", |b| {
+        b.iter(|| black_box(trace.rescale(2, 3)))
+    });
+}
+
+/// Trace statistics (the calibration checks).
+fn trace_stats(c: &mut Criterion) {
+    let trace = TraceGenerator::new(Topology::mesh8x8())
+        .with_duration_ns(4_000)
+        .generate(Benchmark::Canneal);
+    c.bench_function("traffic/trace_stats", |b| b.iter(|| black_box(trace.stats())));
+}
+
+criterion_group!(
+    benches,
+    generate_benchmark_trace,
+    generate_uniform_pattern,
+    compress_trace,
+    trace_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Training-data collection (§III-D "Label").
+//!
+//! The collector wraps any policy and, at every epoch boundary of every
+//! router, records the Full-41 feature vector. When the *next* epoch's
+//! observation arrives, the previous vector is labelled with that epoch's
+//! measured IBU — "this value is tacked onto the feature set at the end
+//! of the simulation since it is not actually known until the next
+//! epoch" — and pushed into a [`Dataset`].
+//!
+//! Collecting at Full-41 and projecting down later lets one simulation
+//! pass feed the Reduced-5 model, the 41-feature ablation and the Fig. 9
+//! single-feature study alike.
+
+use dozznoc_ml::{Dataset, FeatureSet};
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+use crate::features::extract_features;
+
+/// Policy wrapper that harvests (features, future-IBU) examples.
+pub struct Collector<P> {
+    inner: P,
+    pending: Vec<Option<Vec<f64>>>,
+    dataset: Dataset,
+}
+
+impl<P: PowerPolicy> Collector<P> {
+    /// Wrap `inner`, collecting examples for `num_routers` routers.
+    pub fn new(inner: P, num_routers: usize) -> Self {
+        Collector {
+            inner,
+            pending: vec![None; num_routers],
+            dataset: Dataset::new(FeatureSet::Full41.len()),
+        }
+    }
+
+    /// Finish collection and return the labelled dataset (and the inner
+    /// policy). Pending unlabelled vectors of the final epoch are
+    /// discarded, exactly like the paper's end-of-simulation cut-off.
+    pub fn into_dataset(self) -> (Dataset, P) {
+        (self.dataset, self.inner)
+    }
+
+    /// Examples labelled so far.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// True when nothing has been labelled yet.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+}
+
+impl<P: PowerPolicy> PowerPolicy for Collector<P> {
+    fn select_mode(&mut self, router: RouterId, obs: &EpochObservation) -> Mode {
+        // The current observation's IBU labels the previous epoch's
+        // features.
+        if let Some(prev) = self.pending[router.idx()].take() {
+            self.dataset.push(&prev, obs.ibu);
+        }
+        self.pending[router.idx()] = Some(extract_features(obs, FeatureSet::Full41));
+        self.inner.select_mode(router, obs)
+    }
+
+    fn gating_enabled(&self) -> bool {
+        self.inner.gating_enabled()
+    }
+
+    fn ml_features(&self) -> Option<usize> {
+        self.inner.ml_features()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Reactive;
+
+    fn obs(ibu: f64, epoch: u64) -> EpochObservation {
+        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, epoch, ..Default::default() }
+    }
+
+    #[test]
+    fn labels_come_from_the_next_epoch() {
+        let mut c = Collector::new(Reactive::lead(), 2);
+        c.select_mode(RouterId(0), &obs(0.10, 0));
+        assert!(c.is_empty(), "first epoch has no label yet");
+        c.select_mode(RouterId(0), &obs(0.25, 1));
+        assert_eq!(c.len(), 1);
+        c.select_mode(RouterId(0), &obs(0.05, 2));
+        assert_eq!(c.len(), 2);
+        let (ds, _) = c.into_dataset();
+        // Example 0: features of epoch 0 labelled with epoch 1's IBU.
+        assert_eq!(ds.label(0), 0.25);
+        assert_eq!(ds.label(1), 0.05);
+        // CurrentIbu column of example 0 carries epoch 0's IBU.
+        let ibu_col = FeatureSet::Reduced5.columns_in_full41()[4];
+        assert_eq!(ds.example(0)[ibu_col], 0.10);
+        assert_eq!(ds.example(1)[ibu_col], 0.25);
+    }
+
+    #[test]
+    fn routers_are_tracked_independently() {
+        let mut c = Collector::new(Reactive::lead(), 2);
+        c.select_mode(RouterId(0), &obs(0.1, 0));
+        c.select_mode(RouterId(1), &obs(0.3, 0));
+        assert!(c.is_empty());
+        c.select_mode(RouterId(1), &obs(0.4, 1));
+        assert_eq!(c.len(), 1);
+        let (ds, _) = c.into_dataset();
+        // The labelled example is router 1's: label 0.4, IBU feature 0.3.
+        let ibu_col = FeatureSet::Reduced5.columns_in_full41()[4];
+        assert_eq!(ds.label(0), 0.4);
+        assert_eq!(ds.example(0)[ibu_col], 0.3);
+    }
+
+    #[test]
+    fn delegates_policy_behaviour() {
+        let mut c = Collector::new(Reactive::dozznoc(), 1);
+        assert!(c.gating_enabled());
+        assert_eq!(c.name(), "reactive-dozznoc");
+        // Mode selection is the inner reactive policy's.
+        assert_eq!(c.select_mode(RouterId(0), &obs(0.22, 0)), Mode::M6);
+    }
+}

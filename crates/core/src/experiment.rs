@@ -1,0 +1,341 @@
+//! High-level experiment API: train once, run any model on any trace,
+//! or fan a whole campaign across benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_noc::{Network, NocConfig, RunReport};
+use dozznoc_topology::Topology;
+use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
+
+use crate::model::{ModelKind, ALL_MODELS};
+use crate::training::ModelSuite;
+
+/// Run one model on one trace and report.
+pub fn run_model(
+    cfg: NocConfig,
+    trace: &Trace,
+    kind: ModelKind,
+    suite: &ModelSuite,
+) -> RunReport {
+    let mut policy = kind.policy(suite, &cfg.topology);
+    Network::new(cfg)
+        .run(trace, policy.as_mut())
+        .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
+}
+
+/// One cell of a campaign: a model evaluated on a benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The benchmark run.
+    pub benchmark: String,
+    /// The model run.
+    pub model: ModelKind,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// A full evaluation campaign: all five models over a set of benchmarks,
+/// at a given compression factor.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    topology: Topology,
+    epoch_cycles: u64,
+    duration_ns: u64,
+    seed: u64,
+    load_scale: (u64, u64),
+    models: Vec<ModelKind>,
+}
+
+impl Campaign {
+    /// A campaign at the paper's defaults over all five models.
+    pub fn new(topology: Topology) -> Self {
+        Campaign {
+            topology,
+            epoch_cycles: 500,
+            duration_ns: TraceGenerator::DEFAULT_DURATION_NS,
+            seed: 0,
+            load_scale: (1, 1),
+            models: ALL_MODELS.to_vec(),
+        }
+    }
+
+    /// Epoch size override.
+    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
+        self.epoch_cycles = epoch_cycles;
+        self
+    }
+
+    /// Trace horizon override.
+    pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
+        self.duration_ns = duration_ns;
+        self
+    }
+
+    /// Seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run on time-compressed traces (Fig. 8(a,b)).
+    pub fn with_compression(mut self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        self.load_scale = (1, factor);
+        self
+    }
+
+    /// Fractional compression: injection times scaled by `num/den`
+    /// (load changes by `den/num`). The Fig. 8 "compressed" runs use
+    /// 2/3 — 1.5× load, near but not past saturation.
+    pub fn with_load_scale(mut self, num: u64, den: u64) -> Self {
+        assert!(num >= 1 && den >= 1);
+        self.load_scale = (num, den);
+        self
+    }
+
+    /// Restrict the model set.
+    pub fn with_models(mut self, models: &[ModelKind]) -> Self {
+        assert!(!models.is_empty());
+        self.models = models.to_vec();
+        self
+    }
+
+    /// Simulator configuration the campaign uses.
+    pub fn config(&self) -> NocConfig {
+        NocConfig::paper(self.topology).with_epoch_cycles(self.epoch_cycles)
+    }
+
+    /// Generate (and optionally compress) one benchmark's trace.
+    pub fn trace(&self, bench: Benchmark) -> Trace {
+        let t = TraceGenerator::new(self.topology)
+            .with_duration_ns(self.duration_ns)
+            .with_seed(self.seed)
+            .generate(bench);
+        let (num, den) = self.load_scale;
+        t.rescale(num, den)
+    }
+
+    /// Run every model over every benchmark. Benchmarks fan out across
+    /// scoped threads (crossbeam) — each thread owns its trace and
+    /// policies, results merge at the join.
+    pub fn run(&self, benches: &[Benchmark], suite: &ModelSuite) -> Vec<CampaignResult> {
+        let results = parking_lot::Mutex::new(Vec::with_capacity(
+            benches.len() * self.models.len(),
+        ));
+        crossbeam::scope(|scope| {
+            for &bench in benches {
+                let results = &results;
+                let suite = &suite;
+                scope.spawn(move |_| {
+                    let trace = self.trace(bench);
+                    for &model in &self.models {
+                        let report = run_model(self.config(), &trace, model, suite);
+                        results.lock().push(CampaignResult {
+                            benchmark: bench.name().to_string(),
+                            model,
+                            report,
+                        });
+                    }
+                });
+            }
+        })
+        .expect("campaign threads do not panic");
+        let mut out = results.into_inner();
+        // Deterministic presentation order: benchmark, then model.
+        out.sort_by_key(|r| {
+            (
+                benches.iter().position(|b| b.name() == r.benchmark),
+                self.models.iter().position(|m| *m == r.model),
+            )
+        });
+        out
+    }
+}
+
+/// Aggregate a campaign into per-model means relative to the baseline
+/// (the §IV-B headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// The model summarized.
+    pub model: ModelKind,
+    /// Mean static-energy ratio vs. baseline (1.0 = no savings).
+    pub static_ratio: f64,
+    /// Mean dynamic-energy ratio vs. baseline.
+    pub dynamic_ratio: f64,
+    /// Mean throughput ratio vs. baseline.
+    pub throughput_ratio: f64,
+    /// Mean latency ratio vs. baseline.
+    pub latency_ratio: f64,
+    /// Mean energy-delay-product ratio vs. baseline (total energy ×
+    /// mean packet latency; the paper reports "no impact on … EDP" for
+    /// the 41→5 feature reduction).
+    pub edp_ratio: f64,
+}
+
+impl ModelSummary {
+    /// Static power savings as the paper quotes them (percent).
+    pub fn static_savings_pct(&self) -> f64 {
+        (1.0 - self.static_ratio) * 100.0
+    }
+
+    /// Dynamic energy savings (percent).
+    pub fn dynamic_savings_pct(&self) -> f64 {
+        (1.0 - self.dynamic_ratio) * 100.0
+    }
+
+    /// Throughput loss (percent).
+    pub fn throughput_loss_pct(&self) -> f64 {
+        (1.0 - self.throughput_ratio) * 100.0
+    }
+
+    /// Latency increase (percent).
+    pub fn latency_increase_pct(&self) -> f64 {
+        (self.latency_ratio - 1.0) * 100.0
+    }
+
+    /// EDP change (percent; negative = better than baseline).
+    pub fn edp_change_pct(&self) -> f64 {
+        (self.edp_ratio - 1.0) * 100.0
+    }
+}
+
+/// Energy-delay product of one run: total NoC energy × mean network
+/// latency.
+pub fn edp(report: &RunReport) -> f64 {
+    let energy = report.energy.static_j + report.energy.dynamic_with_ml_j();
+    energy * report.stats.avg_net_latency_ns()
+}
+
+/// Summarize campaign results per model against the baseline rows.
+/// Ratios are averaged per benchmark (each benchmark normalized to its
+/// own baseline, then averaged — the paper's "average savings").
+pub fn summarize(results: &[CampaignResult]) -> Vec<ModelSummary> {
+    let mut models: Vec<ModelKind> = Vec::new();
+    for r in results {
+        if !models.contains(&r.model) {
+            models.push(r.model);
+        }
+    }
+    let baselines: Vec<&CampaignResult> = results
+        .iter()
+        .filter(|r| r.model == ModelKind::Baseline)
+        .collect();
+    models
+        .iter()
+        .map(|&model| {
+            let mut n = 0.0;
+            let (mut s, mut d, mut t, mut l, mut e) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for r in results.iter().filter(|r| r.model == model) {
+                let Some(base) = baselines.iter().find(|b| b.benchmark == r.benchmark)
+                else {
+                    continue;
+                };
+                s += r.report.static_energy_vs(&base.report);
+                d += r.report.dynamic_energy_vs(&base.report);
+                t += r.report.throughput_vs(&base.report);
+                l += r.report.latency_vs(&base.report);
+                e += edp(&r.report) / edp(&base.report).max(f64::MIN_POSITIVE);
+                n += 1.0;
+            }
+            let n: f64 = if n > 0.0 { n } else { 1.0 };
+            ModelSummary {
+                model,
+                static_ratio: s / n,
+                dynamic_ratio: d / n,
+                throughput_ratio: t / n,
+                latency_ratio: l / n,
+                edp_ratio: e / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Trainer;
+    use dozznoc_ml::FeatureSet;
+
+    fn quick_suite(topo: Topology) -> ModelSuite {
+        ModelSuite::train(&Trainer::new(topo).with_duration_ns(2_000), FeatureSet::Reduced5)
+    }
+
+    #[test]
+    fn campaign_runs_all_cells() {
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let campaign = Campaign::new(topo).with_duration_ns(2_000);
+        let results = campaign.run(&[Benchmark::Fft, Benchmark::Lu], &suite);
+        assert_eq!(results.len(), 2 * 5);
+        // Every model delivered every packet.
+        for r in &results {
+            assert!(r.report.stats.packets_delivered > 0, "{:?}", r.model);
+        }
+        // Deterministic ordering: fft block first.
+        assert_eq!(results[0].benchmark, "fft");
+        assert_eq!(results[0].model, ModelKind::Baseline);
+    }
+
+    #[test]
+    fn summaries_show_the_paper_ordering() {
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let campaign = Campaign::new(topo).with_duration_ns(4_000);
+        let results = campaign.run(&[Benchmark::X264], &suite);
+        let summaries = summarize(&results);
+        let get = |m: ModelKind| summaries.iter().find(|s| s.model == m).copied().unwrap();
+        // Baseline compared to itself: all ratios 1.
+        let base = get(ModelKind::Baseline);
+        assert!((base.static_ratio - 1.0).abs() < 1e-9);
+        assert!((base.throughput_ratio - 1.0).abs() < 1e-9);
+        // Every power-managed model saves static energy vs. baseline.
+        for m in [ModelKind::PowerGated, ModelKind::DozzNoc, ModelKind::MlTurbo] {
+            assert!(
+                get(m).static_ratio < 0.95,
+                "{m}: static ratio {}",
+                get(m).static_ratio
+            );
+        }
+        // DVFS models save dynamic energy.
+        for m in [ModelKind::LeadDvfs, ModelKind::DozzNoc] {
+            assert!(
+                get(m).dynamic_ratio < 1.0,
+                "{m}: dynamic ratio {}",
+                get(m).dynamic_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn summary_percent_helpers() {
+        let s = ModelSummary {
+            model: ModelKind::DozzNoc,
+            static_ratio: 0.47,
+            dynamic_ratio: 0.75,
+            throughput_ratio: 0.93,
+            latency_ratio: 1.03,
+            edp_ratio: 0.68,
+        };
+        assert!((s.static_savings_pct() - 53.0).abs() < 1e-9);
+        assert!((s.dynamic_savings_pct() - 25.0).abs() < 1e-9);
+        assert!((s.throughput_loss_pct() - 7.0).abs() < 1e-9);
+        assert!((s.latency_increase_pct() - 3.0).abs() < 1e-9);
+        assert!((s.edp_change_pct() + 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_combines_energy_and_latency() {
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let trace = Campaign::new(topo).with_duration_ns(3_000).trace(Benchmark::Fft);
+        let base = run_model(NocConfig::paper(topo), &trace, ModelKind::Baseline, &suite);
+        let e = edp(&base);
+        assert!(e > 0.0);
+        assert!(
+            (e - (base.energy.static_j + base.energy.dynamic_with_ml_j())
+                * base.stats.avg_net_latency_ns())
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! The Feature Extract unit: map an epoch observation to a feature
+//! vector (paper Fig. 1(c), Table IV).
+//!
+//! Values are already normalized by the simulator (per-cycle rates,
+//! fractions of capacity), so the weight magnitudes a ridge fit produces
+//! are comparable across features without a separate standardization
+//! pass — mirroring how the paper's hardware unit multiplies raw local
+//! registers by trained weights.
+
+use dozznoc_ml::features::{FeatureId, FeatureSet, PortClass};
+use dozznoc_noc::EpochObservation;
+
+/// Canonical index of a port class in `EpochObservation::port_classes`.
+fn class_index(p: PortClass) -> usize {
+    match p {
+        PortClass::North => 0,
+        PortClass::South => 1,
+        PortClass::East => 2,
+        PortClass::West => 3,
+        PortClass::Local => 4,
+    }
+}
+
+/// The value of one feature for one observation.
+pub fn feature_value(obs: &EpochObservation, id: FeatureId) -> f64 {
+    match id {
+        FeatureId::Bias => 1.0,
+        FeatureId::RequestsSentByLocalCores => obs.reqs_sent,
+        FeatureId::RequestsReceivedByLocalCores => obs.reqs_recv,
+        FeatureId::ResponsesSentByLocalCores => obs.resps_sent,
+        FeatureId::ResponsesReceivedByLocalCores => obs.resps_recv,
+        FeatureId::RouterTotalOffTime => obs.total_off_fraction,
+        FeatureId::EpochOffTime => obs.epoch_off_fraction,
+        FeatureId::WakeupCount => obs.wakeup_rate,
+        FeatureId::GateOffCount => obs.gate_off_rate,
+        FeatureId::SecuredCycles => obs.secured_fraction,
+        FeatureId::IdleCycles => obs.idle_fraction,
+        FeatureId::CurrentIbu => obs.ibu,
+        FeatureId::IbuEwmaShort => obs.ibu_ewma_short,
+        FeatureId::IbuEwmaLong => obs.ibu_ewma_long,
+        FeatureId::PrevEpochIbu => obs.prev_ibu,
+        FeatureId::PeakIbu => obs.ibu_peak,
+        FeatureId::BufferOccupancy(p) => obs.port_classes[class_index(p)].occupancy,
+        FeatureId::FlitsIn(p) => obs.port_classes[class_index(p)].flits_in,
+        FeatureId::FlitsOut(p) => obs.port_classes[class_index(p)].flits_out,
+        FeatureId::LinkUtilization(p) => obs.port_classes[class_index(p)].link_utilization,
+        FeatureId::FlitsInjected => obs.flits_injected,
+        FeatureId::FlitsEjected => obs.flits_ejected,
+        FeatureId::HopsRouted => obs.hops_routed,
+        FeatureId::StallCycles => obs.stall_fraction,
+        FeatureId::CreditStalls => obs.credit_stall_fraction,
+    }
+}
+
+/// The full feature vector for an observation, in the set's canonical
+/// order.
+pub fn extract_features(obs: &EpochObservation, set: FeatureSet) -> Vec<f64> {
+    set.ids().iter().map(|&id| feature_value(obs, id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> EpochObservation {
+        EpochObservation {
+            cycles: 500,
+            ibu: 0.12,
+            ibu_peak: 0.4,
+            prev_ibu: 0.08,
+            ibu_ewma_short: 0.1,
+            ibu_ewma_long: 0.05,
+            reqs_sent: 0.02,
+            reqs_recv: 0.03,
+            total_off_fraction: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reduced5_layout_matches_table_iv() {
+        let x = extract_features(&obs(), FeatureSet::Reduced5);
+        assert_eq!(x, vec![1.0, 0.02, 0.03, 0.5, 0.12]);
+    }
+
+    #[test]
+    fn full41_has_41_finite_values() {
+        let x = extract_features(&obs(), FeatureSet::Full41);
+        assert_eq!(x.len(), 41);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Bias first.
+        assert_eq!(x[0], 1.0);
+    }
+
+    #[test]
+    fn reduced_is_a_projection_of_full() {
+        let o = obs();
+        let full = extract_features(&o, FeatureSet::Full41);
+        let reduced = extract_features(&o, FeatureSet::Reduced5);
+        for (i, &col) in FeatureSet::Reduced5.columns_in_full41().iter().enumerate() {
+            assert_eq!(full[col], reduced[i]);
+        }
+    }
+
+    #[test]
+    fn every_feature_maps_to_a_distinct_field_family() {
+        // Perturb one observation field and check only the expected
+        // features move (spot-check the Table IV five).
+        let base = extract_features(&obs(), FeatureSet::Reduced5);
+        let mut o2 = obs();
+        o2.reqs_sent = 0.9;
+        let x2 = extract_features(&o2, FeatureSet::Reduced5);
+        assert_ne!(base[1], x2[1]);
+        assert_eq!(base[0], x2[0]);
+        assert_eq!(base[2], x2[2]);
+        assert_eq!(base[3], x2[3]);
+        assert_eq!(base[4], x2[4]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The DozzNoC contribution: adaptive power management combining
+//! partially non-blocking power-gating, proactive ML-driven DVFS and the
+//! SIMO/LDO regulator substrate.
+//!
+//! The five models of the paper's evaluation (§III-B):
+//!
+//! | model | gating | DVFS | ML | module |
+//! |---|---|---|---|---|
+//! | Baseline | – | – | – | [`policy::Baseline`] |
+//! | PG (Power Punch-like) | ✓ | – | – | [`policy::PowerGated`] |
+//! | DVFS+ML (LEAD-τ) | – | ✓ | ✓ | [`policy::Proactive`] |
+//! | **DOZZNOC** | ✓ | ✓ | ✓ | [`policy::Proactive`] |
+//! | ML+TURBO | ✓ | ✓ | ✓ (turbo rule) | [`policy::Proactive`] |
+//!
+//! plus the *reactive* variants ([`policy::Reactive`]) used only to
+//! collect training data (§III-D: "we must first design reactive versions
+//! of each machine learning model").
+//!
+//! [`training`] reproduces the offline pipeline: reactive runs over the
+//! six training traces collect features and future-IBU labels, ridge
+//! regression fits them with λ tuned on the three validation traces, and
+//! the exported [`dozznoc_ml::TrainedModel`] drives proactive mode
+//! selection on the five held-out test traces. [`experiment`] wraps the
+//! whole thing behind a one-call API.
+
+pub mod collect;
+pub mod experiment;
+pub mod features;
+pub mod model;
+pub mod policy;
+pub mod training;
+
+pub use collect::Collector;
+pub use experiment::{run_model, Campaign, CampaignResult};
+pub use features::{extract_features, feature_value};
+pub use model::ModelKind;
+pub use policy::{Adaptive, Baseline, Oracle, PowerGated, Proactive, Reactive};
+pub use training::{ModelSuite, Trainer};

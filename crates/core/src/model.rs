@@ -1,0 +1,108 @@
+//! The five evaluation models as a closed enum.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_noc::PowerPolicy;
+use dozznoc_topology::Topology;
+
+use crate::policy::{Baseline, PowerGated, Proactive};
+use crate::training::ModelSuite;
+
+/// The five models compared throughout §IV (Figs. 7–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// No power management at all.
+    Baseline,
+    /// Power Punch-style gating, M7-only active state.
+    PowerGated,
+    /// LEAD-τ: ML-driven DVFS, never gated.
+    LeadDvfs,
+    /// The proposed model: ML + gating + DVFS.
+    DozzNoc,
+    /// The turbo experiment: DOZZNOC with every third intermediate
+    /// prediction forced to M7.
+    MlTurbo,
+}
+
+/// All five in presentation order (the Fig. 8 bar order).
+pub const ALL_MODELS: [ModelKind; 5] = [
+    ModelKind::Baseline,
+    ModelKind::PowerGated,
+    ModelKind::LeadDvfs,
+    ModelKind::DozzNoc,
+    ModelKind::MlTurbo,
+];
+
+impl ModelKind {
+    /// Instantiate the policy. The trained `suite` is only consulted by
+    /// the ML models.
+    pub fn policy(&self, suite: &ModelSuite, topo: &Topology) -> Box<dyn PowerPolicy> {
+        match self {
+            ModelKind::Baseline => Box::new(Baseline),
+            ModelKind::PowerGated => Box::new(PowerGated),
+            ModelKind::LeadDvfs => Box::new(Proactive::lead(suite.lead.clone())),
+            ModelKind::DozzNoc => Box::new(Proactive::dozznoc(suite.dozznoc.clone())),
+            ModelKind::MlTurbo => {
+                Box::new(Proactive::turbo(suite.turbo.clone(), topo.num_routers()))
+            }
+        }
+    }
+
+    /// Whether this model needs trained weights.
+    pub fn uses_ml(&self) -> bool {
+        matches!(self, ModelKind::LeadDvfs | ModelKind::DozzNoc | ModelKind::MlTurbo)
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Baseline => "Baseline",
+            ModelKind::PowerGated => "PG",
+            ModelKind::LeadDvfs => "ML+DVFS (LEAD-tau)",
+            ModelKind::DozzNoc => "DOZZNOC (ML+DVFS+PG)",
+            ModelKind::MlTurbo => "ML+TURBO",
+        }
+    }
+}
+
+impl core::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Trainer;
+    use dozznoc_ml::FeatureSet;
+
+    #[test]
+    fn labels_and_ml_flags() {
+        assert!(!ModelKind::Baseline.uses_ml());
+        assert!(!ModelKind::PowerGated.uses_ml());
+        assert!(ModelKind::LeadDvfs.uses_ml());
+        assert!(ModelKind::DozzNoc.uses_ml());
+        assert!(ModelKind::MlTurbo.uses_ml());
+        assert_eq!(ModelKind::DozzNoc.label(), "DOZZNOC (ML+DVFS+PG)");
+        assert_eq!(ALL_MODELS.len(), 5);
+    }
+
+    #[test]
+    fn policies_instantiate_with_expected_gating() {
+        let topo = Topology::mesh8x8();
+        let suite = ModelSuite::train(
+            &Trainer::new(topo).with_duration_ns(2_000),
+            FeatureSet::Reduced5,
+        );
+        for kind in ALL_MODELS {
+            let p = kind.policy(&suite, &topo);
+            let expect_gating = matches!(
+                kind,
+                ModelKind::PowerGated | ModelKind::DozzNoc | ModelKind::MlTurbo
+            );
+            assert_eq!(p.gating_enabled(), expect_gating, "{kind}");
+            assert_eq!(p.ml_features().is_some(), kind.uses_ml(), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The baseline model (§III-B): all routers permanently active at the
+//! highest voltage level. Highest throughput, lowest latency, zero
+//! savings.
+
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+/// Always-on, always-M7, no gating, no ML.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl PowerPolicy for Baseline {
+    fn select_mode(&mut self, _router: RouterId, _obs: &EpochObservation) -> Mode {
+        Mode::M7
+    }
+
+    fn name(&self) -> &str {
+        "baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_never_gates_and_always_m7() {
+        let mut b = Baseline;
+        let obs = EpochObservation { cycles: 500, ibu: 0.0, ..Default::default() };
+        assert_eq!(b.select_mode(RouterId(0), &obs), Mode::M7);
+        let busy = EpochObservation { cycles: 500, ibu: 0.9, ibu_peak: 0.9, ..Default::default() };
+        assert_eq!(b.select_mode(RouterId(1), &busy), Mode::M7);
+        assert!(!b.gating_enabled());
+        assert_eq!(b.ml_features(), None);
+        assert_eq!(b.name(), "baseline");
+    }
+}

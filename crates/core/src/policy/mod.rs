@@ -1,0 +1,15 @@
+//! The five evaluation models plus the reactive training variants.
+
+mod adaptive;
+mod baseline;
+mod oracle;
+mod power_gate;
+mod proactive;
+mod reactive;
+
+pub use adaptive::Adaptive;
+pub use baseline::Baseline;
+pub use oracle::Oracle;
+pub use power_gate::PowerGated;
+pub use proactive::Proactive;
+pub use reactive::Reactive;

@@ -1,0 +1,43 @@
+//! The power-gated comparison model (§III-B, Fig. 2(a)).
+//!
+//! Modelled after Power Punch (Chen et al., HPCA'15) the way the paper
+//! models it: partially non-blocking power gating with look-ahead wake of
+//! downstream routers (the mechanics live in the simulator), and an
+//! active state fixed at the highest mode — "if a router is active, then
+//! it will operate at the highest mode of operation, mode 7".
+
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+/// Power gating at T-Idle with M7-only active operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerGated;
+
+impl PowerPolicy for PowerGated {
+    fn select_mode(&mut self, _router: RouterId, _obs: &EpochObservation) -> Mode {
+        Mode::M7
+    }
+
+    fn gating_enabled(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "power-gated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_but_never_scales() {
+        let mut p = PowerGated;
+        let obs = EpochObservation { cycles: 500, ..Default::default() };
+        assert_eq!(p.select_mode(RouterId(3), &obs), Mode::M7);
+        assert!(p.gating_enabled());
+        assert_eq!(p.ml_features(), None);
+        assert_eq!(p.name(), "power-gated");
+    }
+}

@@ -1,0 +1,175 @@
+//! Proactive ML-driven mode selection: the Label Generate + Model Select
+//! units of Fig. 1(c).
+//!
+//! Every epoch the trained ridge model predicts the router's *future*
+//! input-buffer utilization from local features; the prediction drives
+//! the Fig. 3(b) threshold logic. Three paper models share this policy:
+//!
+//! * **LEAD-τ (DVFS+ML)** — gating disabled;
+//! * **DOZZNOC (ML+PG+DVFS)** — gating enabled;
+//! * **ML+TURBO** — gating enabled plus the turbo rule: every third
+//!   prediction of an intermediate mode (M4–M6) is overridden to M7.
+
+use dozznoc_ml::{mode_of_utilization, FeatureSet, TrainedModel};
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+use crate::features::extract_features;
+
+/// Proactive threshold DVFS over a trained future-IBU predictor.
+#[derive(Debug, Clone)]
+pub struct Proactive {
+    model: TrainedModel,
+    gating: bool,
+    turbo: Option<Vec<u32>>, // per-router intermediate-mode counters
+    name: &'static str,
+}
+
+impl Proactive {
+    /// The full DOZZNOC model (ML + PG + DVFS).
+    pub fn dozznoc(model: TrainedModel) -> Self {
+        Proactive { model, gating: true, turbo: None, name: "dozznoc" }
+    }
+
+    /// The LEAD-τ comparison model (ML + DVFS, no gating).
+    pub fn lead(model: TrainedModel) -> Self {
+        Proactive { model, gating: false, turbo: None, name: "lead-tau" }
+    }
+
+    /// The ML+TURBO experimental model.
+    pub fn turbo(model: TrainedModel, num_routers: usize) -> Self {
+        Proactive {
+            model,
+            gating: true,
+            turbo: Some(vec![0; num_routers]),
+            name: "ml-turbo",
+        }
+    }
+
+    /// The trained model in use.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Feature set the model consumes.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.model.feature_set
+    }
+}
+
+impl PowerPolicy for Proactive {
+    fn select_mode(&mut self, router: RouterId, obs: &EpochObservation) -> Mode {
+        let x = extract_features(obs, self.model.feature_set);
+        let predicted_ibu = self.model.predict(&x);
+        let mut mode = mode_of_utilization(predicted_ibu);
+        if let Some(counters) = self.turbo.as_mut() {
+            // Turbo rule: every third intermediate-mode prediction is
+            // forced to the highest mode (§III-B ML+TURBO).
+            if mode != Mode::M3 && mode != Mode::M7 {
+                let c = &mut counters[router.idx()];
+                *c += 1;
+                if *c % 3 == 0 {
+                    mode = Mode::M7;
+                }
+            }
+        }
+        mode
+    }
+
+    fn gating_enabled(&self) -> bool {
+        self.gating
+    }
+
+    fn ml_features(&self) -> Option<usize> {
+        Some(self.model.feature_set.len())
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that predicts exactly the current IBU (weight 1 on
+    /// CurrentIbu, 0 elsewhere): turns the proactive policy into a
+    /// transparent oracle for testing.
+    fn identity_model() -> TrainedModel {
+        TrainedModel::new(
+            FeatureSet::Reduced5,
+            vec![0.0, 0.0, 0.0, 0.0, 1.0],
+            500,
+            0.0,
+            0.0,
+        )
+    }
+
+    fn obs(ibu: f64) -> EpochObservation {
+        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, ..Default::default() }
+    }
+
+    #[test]
+    fn prediction_drives_thresholds() {
+        let mut p = Proactive::dozznoc(identity_model());
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.02)), Mode::M3);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.30)), Mode::M7);
+        assert!(p.gating_enabled());
+        assert_eq!(p.ml_features(), Some(5));
+    }
+
+    #[test]
+    fn lead_disables_gating_only() {
+        let mut l = Proactive::lead(identity_model());
+        assert!(!l.gating_enabled());
+        assert_eq!(l.select_mode(RouterId(0), &obs(0.15)), Mode::M5);
+        assert_eq!(l.name(), "lead-tau");
+    }
+
+    #[test]
+    fn turbo_overrides_every_third_intermediate() {
+        let mut t = Proactive::turbo(identity_model(), 4);
+        // IBU 0.15 → M5 (intermediate). Predictions 1, 2 keep M5; the
+        // 3rd is forced to M7; then 4, 5 keep M5; 6th forced…
+        let got: Vec<Mode> =
+            (0..6).map(|_| t.select_mode(RouterId(1), &obs(0.15))).collect();
+        assert_eq!(got, vec![Mode::M5, Mode::M5, Mode::M7, Mode::M5, Mode::M5, Mode::M7]);
+    }
+
+    #[test]
+    fn turbo_never_overrides_extremes() {
+        let mut t = Proactive::turbo(identity_model(), 4);
+        for _ in 0..10 {
+            assert_eq!(t.select_mode(RouterId(0), &obs(0.01)), Mode::M3);
+            assert_eq!(t.select_mode(RouterId(0), &obs(0.9)), Mode::M7);
+        }
+    }
+
+    #[test]
+    fn turbo_counters_are_per_router() {
+        let mut t = Proactive::turbo(identity_model(), 4);
+        // Two intermediate predictions on router 0, then one on router 1:
+        // router 1's counter is independent, so no override yet.
+        t.select_mode(RouterId(0), &obs(0.15));
+        t.select_mode(RouterId(0), &obs(0.15));
+        assert_eq!(t.select_mode(RouterId(1), &obs(0.15)), Mode::M5);
+        // Router 0's third intermediate triggers.
+        assert_eq!(t.select_mode(RouterId(0), &obs(0.15)), Mode::M7);
+    }
+
+    #[test]
+    fn negative_predictions_clamp_to_lowest_mode() {
+        // A linear model can predict below zero at idle; the threshold
+        // logic must clamp, not panic.
+        let model = TrainedModel::new(
+            FeatureSet::Reduced5,
+            vec![-0.1, 0.0, 0.0, 0.0, 1.0],
+            500,
+            0.0,
+            0.0,
+        );
+        let mut p = Proactive::dozznoc(model);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.0)), Mode::M3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Reactive DVFS variants (§III-D, §IV-A): select the next epoch's mode
+//! from the *current* epoch's measured input-buffer utilization.
+//!
+//! The paper builds these solely to generate training data: "we must
+//! first design reactive versions of each machine learning model which
+//! rely on current buffer utilization to select voltage levels". They
+//! are also the natural non-ML DVFS baseline for ablations (how much
+//! does proactivity buy over staleness?).
+
+use dozznoc_ml::mode_of_utilization;
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+/// Threshold DVFS on the current epoch's IBU, with or without gating.
+#[derive(Debug, Clone)]
+pub struct Reactive {
+    gating: bool,
+    name: &'static str,
+}
+
+impl Reactive {
+    /// Reactive variant of DOZZNOC (gating + DVFS).
+    pub fn dozznoc() -> Self {
+        Reactive { gating: true, name: "reactive-dozznoc" }
+    }
+
+    /// Reactive variant of LEAD-τ (DVFS only).
+    pub fn lead() -> Self {
+        Reactive { gating: false, name: "reactive-lead" }
+    }
+}
+
+impl PowerPolicy for Reactive {
+    fn select_mode(&mut self, _router: RouterId, obs: &EpochObservation) -> Mode {
+        mode_of_utilization(obs.ibu)
+    }
+
+    fn gating_enabled(&self) -> bool {
+        self.gating
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ibu: f64) -> EpochObservation {
+        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, ..Default::default() }
+    }
+
+    #[test]
+    fn tracks_current_utilization() {
+        let mut p = Reactive::dozznoc();
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.01)), Mode::M3);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.07)), Mode::M4);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.15)), Mode::M5);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.22)), Mode::M6);
+        assert_eq!(p.select_mode(RouterId(0), &obs(0.60)), Mode::M7);
+    }
+
+    #[test]
+    fn variants_differ_only_in_gating() {
+        let mut d = Reactive::dozznoc();
+        let mut l = Reactive::lead();
+        assert!(d.gating_enabled());
+        assert!(!l.gating_enabled());
+        let o = obs(0.15);
+        assert_eq!(d.select_mode(RouterId(1), &o), l.select_mode(RouterId(1), &o));
+        assert_eq!(d.ml_features(), None);
+        assert_eq!(l.ml_features(), None);
+    }
+}

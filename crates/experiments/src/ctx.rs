@@ -1,0 +1,74 @@
+//! Shared experiment context: output directory, quick mode, seed.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parsed command-line context shared by every experiment.
+pub struct Ctx {
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Quick mode: short traces for smoke runs.
+    pub quick: bool,
+    /// Trace-generator seed.
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// Parse `--quick`, `--out DIR`, `--seed N` from the argument list.
+    pub fn from_args(args: &[String]) -> Ctx {
+        let mut ctx = Ctx { out_dir: PathBuf::from("results"), quick: false, seed: 0 };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => ctx.quick = true,
+                "--out" => {
+                    ctx.out_dir = PathBuf::from(
+                        it.next().expect("--out needs a directory argument"),
+                    )
+                }
+                "--seed" => {
+                    ctx.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer")
+                }
+                other => panic!("unknown flag `{other}`"),
+            }
+        }
+        ctx
+    }
+
+    /// Trace horizon in nanoseconds (shortened by `--quick`).
+    pub fn duration_ns(&self) -> u64 {
+        if self.quick {
+            4_000
+        } else {
+            50_000
+        }
+    }
+
+    /// Write a CSV artifact, creating the output directory on demand.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        fs::create_dir_all(&self.out_dir)
+            .unwrap_or_else(|e| panic!("cannot create {:?}: {e}", self.out_dir));
+        let path = self.out_dir.join(name);
+        let mut f = fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
+        writeln!(f, "{header}").expect("csv write");
+        for row in rows {
+            writeln!(f, "{row}").expect("csv write");
+        }
+        eprintln!("  wrote {}", path.display());
+    }
+
+    /// Path for cached artifacts (trained model suites).
+    pub fn cache_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

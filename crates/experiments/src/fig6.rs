@@ -1,0 +1,41 @@
+//! Fig. 6: SIMO/LDO power efficiency vs. the conventional
+//! switching-regulator/LDO array.
+
+use dozznoc_power::EfficiencyCurve;
+
+use crate::ctx::{banner, Ctx};
+
+/// Regenerate the efficiency comparison.
+pub fn run(ctx: &Ctx) {
+    banner("Fig. 6 — regulator power efficiency");
+
+    let curve = EfficiencyCurve::sample(40);
+    println!("{:<8} {:>10} {:>10} {:>8}", "Vout", "SIMO", "baseline", "gain");
+    let mut rows = Vec::new();
+    for p in &curve.points {
+        // Print every other sample; CSV gets them all.
+        rows.push(format!("{:.3},{:.4},{:.4}", p.vout, p.simo, p.baseline));
+    }
+    for p in curve.points.iter().step_by(4) {
+        println!(
+            "{:<8} {:>9.1}% {:>9.1}% {:>7.1}%",
+            format!("{:.2} V", p.vout),
+            p.simo * 100.0,
+            p.baseline * 100.0,
+            p.improvement() * 100.0
+        );
+    }
+
+    let paper_points = EfficiencyCurve::paper_comparison_points();
+    let (max_gain, at) = paper_points.max_improvement();
+    println!(
+        "\nmean improvement at the paper's 4 comparison points: {:.1}% (paper: ~15%)",
+        paper_points.mean_improvement() * 100.0
+    );
+    println!(
+        "max improvement: {:.1}% at {:.1} V (paper: almost 25% at 0.9 V)",
+        max_gain * 100.0,
+        at
+    );
+    ctx.write_csv("fig6_efficiency.csv", "vout,simo,baseline", &rows);
+}

@@ -1,0 +1,65 @@
+//! Fig. 9 (called "Fig. 11" in the paper's body text): mode-selection
+//! accuracy of single-feature models across the five test traces.
+//!
+//! For each candidate feature we train a ridge model on [bias, feature]
+//! alone, then measure how often its prediction picks the same DVFS mode
+//! as the true future IBU on held-out test data. The paper finds current
+//! IBU ≈ 80% and router-off-time / core-traffic ≈ 40%.
+
+use dozznoc_core::training::ReactiveKind;
+use dozznoc_ml::{mode_selection_accuracy, FeatureSet, RidgeRegression};
+use dozznoc_topology::Topology;
+use dozznoc_traffic::{TEST_BENCHMARKS, TRAIN_BENCHMARKS, VALIDATION_BENCHMARKS};
+
+use crate::ctx::{banner, Ctx};
+use crate::suite::trainer_for;
+
+/// The candidate features the study compares (Table IV minus the bias),
+/// identified by their Full-41 column.
+fn candidates() -> Vec<(String, usize)> {
+    let full = FeatureSet::Full41.ids();
+    FeatureSet::Reduced5
+        .columns_in_full41()
+        .into_iter()
+        .skip(1) // skip the bias
+        .map(|col| (full[col].name(), col))
+        .collect()
+}
+
+/// Regenerate the single-feature accuracy study.
+pub fn run(ctx: &Ctx) {
+    banner("Fig. 9 — single-feature mode-selection accuracy");
+    let topo = Topology::mesh8x8();
+    let trainer = trainer_for(ctx, topo, 500);
+
+    eprintln!("  collecting train/validation/test datasets…");
+    let train41 = trainer.collect(ReactiveKind::Gated, &TRAIN_BENCHMARKS);
+    let val41 = trainer.collect(ReactiveKind::Gated, &VALIDATION_BENCHMARKS);
+    let tests: Vec<_> = TEST_BENCHMARKS
+        .iter()
+        .map(|&b| (b.name(), trainer.collect(ReactiveKind::Gated, &[b])))
+        .collect();
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<28} {}",
+        "feature",
+        TEST_BENCHMARKS.map(|b| format!("{:>10}", b.name())).join("")
+    );
+    for (name, col) in candidates() {
+        let weights = trainer.train_single_feature(&train41, &val41, col);
+        let mut cells = Vec::new();
+        let mut accs = Vec::new();
+        for (bench, ds41) in &tests {
+            let ds = ds41.project(&[0, col]);
+            let pred = RidgeRegression::predict(&weights, &ds);
+            let acc = mode_selection_accuracy(&pred, ds.labels());
+            cells.push(format!("{:>9.1}%", acc * 100.0));
+            accs.push(acc);
+            rows.push(format!("{name},{bench},{acc:.4}"));
+        }
+        let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+        println!("{name:<28} {}   avg {:.1}%", cells.join(""), avg * 100.0);
+    }
+    ctx.write_csv("fig9_single_feature_accuracy.csv", "feature,benchmark,accuracy", &rows);
+}

@@ -1,0 +1,66 @@
+//! Trained-model suite management with on-disk caching.
+//!
+//! Training takes simulation time, so each (topology, epoch, feature-set)
+//! suite is trained once and cached as JSON under the output directory;
+//! later commands (and re-runs) load the cache. Delete `results/*.json`
+//! to force retraining.
+
+use dozznoc_core::{ModelSuite, Trainer};
+use dozznoc_ml::{FeatureSet, TrainedModel};
+use dozznoc_topology::Topology;
+
+use crate::ctx::Ctx;
+
+/// Load or train the model suite for a configuration.
+pub fn suite_for(
+    ctx: &Ctx,
+    topo: Topology,
+    epoch_cycles: u64,
+    feature_set: FeatureSet,
+) -> ModelSuite {
+    let key = format!(
+        "suite-{}-e{}-{}{}.json",
+        topo.kind(),
+        epoch_cycles,
+        feature_set,
+        if ctx.quick { "-quick" } else { "" }
+    );
+    let path = ctx.cache_path(&key);
+    if let Some(suite) = load(&path) {
+        eprintln!("  loaded cached models from {}", path.display());
+        return suite;
+    }
+    eprintln!("  training {} suite (epoch {epoch_cycles}, {feature_set})…", topo.kind());
+    let trainer = trainer_for(ctx, topo, epoch_cycles);
+    let suite = ModelSuite::train(&trainer, feature_set);
+    save(ctx, &path, &suite);
+    suite
+}
+
+/// The trainer every experiment shares.
+pub fn trainer_for(ctx: &Ctx, topo: Topology, epoch_cycles: u64) -> Trainer {
+    Trainer::new(topo)
+        .with_epoch_cycles(epoch_cycles)
+        .with_duration_ns(ctx.duration_ns())
+        .with_seed(ctx.seed)
+}
+
+fn load(path: &std::path::Path) -> Option<ModelSuite> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&raw).ok()?;
+    let get = |k: &str| -> Option<TrainedModel> {
+        TrainedModel::from_json(&v.get(k)?.to_string()).ok()
+    };
+    Some(ModelSuite { dozznoc: get("dozznoc")?, lead: get("lead")?, turbo: get("turbo")? })
+}
+
+fn save(ctx: &Ctx, path: &std::path::Path, suite: &ModelSuite) {
+    std::fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    let v = serde_json::json!({
+        "dozznoc": serde_json::from_str::<serde_json::Value>(&suite.dozznoc.to_json()).unwrap(),
+        "lead": serde_json::from_str::<serde_json::Value>(&suite.lead.to_json()).unwrap(),
+        "turbo": serde_json::from_str::<serde_json::Value>(&suite.turbo.to_json()).unwrap(),
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&v).unwrap()).expect("save suite");
+    eprintln!("  cached models at {}", path.display());
+}

@@ -1,0 +1,146 @@
+//! Tables I–V: regenerated directly from the substrate models.
+
+use dozznoc_ml::metrics::MODE_THRESHOLDS;
+use dozznoc_ml::FeatureSet;
+use dozznoc_power::regulator::delay::RegState;
+use dozznoc_power::{DsentCosts, SimoRegulator, SwitchDelayTable, VfTable};
+use dozznoc_types::ACTIVE_MODES;
+
+use crate::ctx::{banner, Ctx};
+
+/// Table I: LDO dropout ranges for the three SIMO rails.
+pub fn table1(ctx: &Ctx) {
+    banner("Table I — LDO voltage dropout per SIMO rail");
+    let simo = SimoRegulator::default();
+    println!("{:<10} {:<18} {:<14}", "LDO Vin", "LDO Vout range", "dropout range");
+    let mut rows = Vec::new();
+    for (rail, lo, hi) in [(0.9, 0.8, 0.9), (1.1, 1.0, 1.1), (1.2, 1.2, 1.2)] {
+        let drop_lo = simo.ldo_for(hi).dropout();
+        let drop_hi = simo.ldo_for(lo).dropout();
+        println!(
+            "{:<10} {:<18} {:<14}",
+            format!("{rail:.1} V"),
+            format!("{lo:.1} V – {hi:.1} V"),
+            format!("{drop_lo:.1} V – {drop_hi:.1} V"),
+        );
+        rows.push(format!("{rail},{lo},{hi},{drop_lo},{drop_hi}"));
+        assert!(drop_hi <= 0.1 + 1e-12, "design envelope violated");
+    }
+    println!("worst dropout over all modes: {:.3} V (envelope 0.1 V)",
+        simo.max_dropout_over_range());
+    ctx.write_csv("table1.csv", "rail_v,vout_lo,vout_hi,dropout_lo,dropout_hi", &rows);
+}
+
+/// Table II: measured 6×6 switch-latency matrix.
+pub fn table2(ctx: &Ctx) {
+    banner("Table II — measured mode-switch latency (ns)");
+    let t = SwitchDelayTable::paper();
+    print!("{:<8}", "from\\to");
+    for s in RegState::all() {
+        print!("{:>8}", s.to_string());
+    }
+    println!();
+    let mut rows = Vec::new();
+    for from in RegState::all() {
+        print!("{:<8}", from.to_string());
+        let mut cells = vec![from.to_string()];
+        for to in RegState::all() {
+            let ns = t.latency_ns(from, to);
+            print!("{ns:>8.1}");
+            cells.push(format!("{ns}"));
+        }
+        println!();
+        rows.push(cells.join(","));
+    }
+    println!(
+        "worst wake-up {:.1} ns, worst switch {:.1} ns",
+        t.worst_wakeup_ns(),
+        t.worst_switch_ns()
+    );
+    ctx.write_csv("table2.csv", "from,PG,0.8V,0.9V,1.0V,1.1V,1.2V", &rows);
+}
+
+/// Table III: per-mode cycle costs.
+pub fn table3(ctx: &Ctx) {
+    banner("Table III — T-Switch / T-Wakeup / T-Breakeven (cycles)");
+    let t = VfTable::paper();
+    println!(
+        "{:<8} {:<10} {:>10} {:>10} {:>12}",
+        "Volt.", "Freq.", "T-Switch", "T-Wakeup", "T-Breakeven"
+    );
+    let mut rows = Vec::new();
+    for m in ACTIVE_MODES {
+        let r = t.timings(m);
+        println!(
+            "{:<8} {:<10} {:>10} {:>10} {:>12}",
+            format!("{:.1} V", m.voltage()),
+            format!("{} GHz", m.freq_ghz()),
+            r.t_switch_cycles,
+            r.t_wakeup_cycles,
+            r.t_breakeven_cycles
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            m.voltage(),
+            m.freq_ghz(),
+            r.t_switch_cycles,
+            r.t_wakeup_cycles,
+            r.t_breakeven_cycles
+        ));
+    }
+    ctx.write_csv("table3.csv", "volt,freq_ghz,t_switch,t_wakeup,t_breakeven", &rows);
+}
+
+/// Table IV: the reduced feature set, plus the mode-selection thresholds
+/// the label drives.
+pub fn table4(ctx: &Ctx) {
+    banner("Table IV — reduced feature set");
+    let ids = FeatureSet::Reduced5.ids();
+    let mut rows = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        println!("Feature {}: {}", i + 1, id.name());
+        rows.push(format!("{},{}", i + 1, id.name()));
+    }
+    println!("Label:     future input buffer utilization");
+    println!("\nmode thresholds (Fig. 3(b)):");
+    for (thr, mode) in MODE_THRESHOLDS {
+        println!("  IBU < {:>4.0}% → M{}", thr * 100.0, mode.index());
+    }
+    println!("  IBU ≥  25% → M7");
+    ctx.write_csv("table4.csv", "index,feature", &rows);
+}
+
+/// Table V: the DSENT-derived cost model.
+pub fn table5(ctx: &Ctx) {
+    banner("Table V — static power & dynamic energy (22 nm, 128-bit flits)");
+    let c = DsentCosts::paper();
+    println!(
+        "{:<8} {:<10} {:>14} {:>14} {:>16}",
+        "Volt.", "Freq.", "Static (J/s)", "Static (cyc)", "Dynamic (pJ/hop)"
+    );
+    let mut rows = Vec::new();
+    for m in ACTIVE_MODES {
+        let r = c.costs(m);
+        println!(
+            "{:<8} {:<10} {:>14.3} {:>14.3} {:>16.1}",
+            format!("{:.1} V", m.voltage()),
+            format!("{} GHz", m.freq_ghz()),
+            r.static_power_w,
+            r.static_per_cycle,
+            r.dynamic_pj_per_hop
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            m.voltage(),
+            m.freq_ghz(),
+            r.static_power_w,
+            r.static_per_cycle,
+            r.dynamic_pj_per_hop
+        ));
+    }
+    ctx.write_csv(
+        "table5.csv",
+        "volt,freq_ghz,static_w,static_per_cycle,dynamic_pj_per_hop",
+        &rows,
+    );
+}

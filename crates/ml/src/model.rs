@@ -1,0 +1,127 @@
+//! The exported artifact of training: a weight vector bound to its
+//! feature set and epoch size.
+//!
+//! The paper trains a separate model per epoch size ("each epoch size has
+//! a separately trained model which retains all inter-epoch
+//! dependencies"), so the epoch size is part of the model's identity and
+//! loading a model trained for a different epoch size is an error the
+//! type makes loud.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureSet;
+use crate::linalg::dot;
+
+/// A trained, deployable mode-selection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// Feature set the weights are aligned to.
+    pub feature_set: FeatureSet,
+    /// Weight per feature, in the set's canonical order.
+    pub weights: Vec<f64>,
+    /// Epoch size (router-local cycles) the model was trained at.
+    pub epoch_cycles: u64,
+    /// The λ selected during validation.
+    pub lambda: f64,
+    /// Validation MSE achieved (for provenance).
+    pub validation_mse: f64,
+}
+
+impl TrainedModel {
+    /// Bundle a weight vector into a model. Panics if the weight count
+    /// does not match the feature set.
+    pub fn new(
+        feature_set: FeatureSet,
+        weights: Vec<f64>,
+        epoch_cycles: u64,
+        lambda: f64,
+        validation_mse: f64,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            feature_set.len(),
+            "weight count does not match feature set"
+        );
+        TrainedModel { feature_set, weights, epoch_cycles, lambda, validation_mse }
+    }
+
+    /// Predict the label (future input-buffer utilization) for a feature
+    /// vector laid out in this model's canonical order.
+    #[inline]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        dot(&self.weights, features)
+    }
+
+    /// Serialize to a JSON string (the "export to the network simulator"
+    /// step).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model is always serializable")
+    }
+
+    /// Deserialize from JSON, validating the weight/feature binding.
+    pub fn from_json(json: &str) -> Result<TrainedModel, String> {
+        let model: TrainedModel =
+            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if model.weights.len() != model.feature_set.len() {
+            return Err(format!(
+                "weight count {} does not match feature set {} ({} features)",
+                model.weights.len(),
+                model.feature_set,
+                model.feature_set.len()
+            ));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TrainedModel {
+        TrainedModel::new(
+            FeatureSet::Reduced5,
+            vec![0.01, 0.002, 0.001, -0.05, 0.9],
+            500,
+            0.1,
+            1e-3,
+        )
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let m = model();
+        let x = [1.0, 10.0, 5.0, 0.2, 0.1];
+        let expect = 0.01 + 0.02 + 0.005 - 0.01 + 0.09;
+        assert!((m.predict(&x) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = model();
+        let j = m.to_json();
+        let back = TrainedModel::from_json(&j).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        assert!(TrainedModel::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn mismatched_weights_rejected_on_load() {
+        let mut m = model();
+        m.weights.pop();
+        let j = serde_json::to_string(&m).unwrap();
+        let err = TrainedModel::from_json(&j).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match feature set")]
+    fn mismatched_weights_rejected_on_build() {
+        TrainedModel::new(FeatureSet::Reduced5, vec![1.0; 4], 500, 0.1, 0.0);
+    }
+}

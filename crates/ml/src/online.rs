@@ -1,0 +1,211 @@
+//! Online ridge regression via recursive least squares (RLS).
+//!
+//! The paper trains offline ("by training the model offline, the
+//! overhead of ML can be restricted to only runtime overhead") and cites
+//! online-learning DVFS as related work. This module provides the online
+//! alternative as an extension: an exponentially-weighted RLS estimator
+//! that refines the weight vector one example at a time, so a deployed
+//! NoC could keep adapting to workloads the training set never saw.
+//!
+//! RLS maintains `P ≈ (Σ λᵗ xxᵀ + εI)⁻¹` incrementally:
+//!
+//! ```text
+//! k = P·x / (λ + xᵀ·P·x)
+//! w ← w + k·(t − wᵀ·x)
+//! P ← (P − k·xᵀ·P) / λ
+//! ```
+//!
+//! with forgetting factor λ ∈ (0, 1] (1 = ordinary recursive ridge).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::dot;
+
+/// Exponentially-weighted recursive least squares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursiveLeastSquares {
+    weights: Vec<f64>,
+    /// Row-major inverse-covariance estimate `P`.
+    p: Vec<f64>,
+    dim: usize,
+    forgetting: f64,
+    updates: u64,
+}
+
+impl RecursiveLeastSquares {
+    /// A fresh estimator of dimension `dim`. `forgetting` ∈ (0, 1];
+    /// `delta` scales the initial `P = δ·I` (larger = faster initial
+    /// adaptation, standard values 10²–10⁴).
+    pub fn new(dim: usize, forgetting: f64, delta: f64) -> Self {
+        assert!(dim >= 1);
+        assert!((0.0..=1.0).contains(&forgetting) && forgetting > 0.0);
+        assert!(delta > 0.0);
+        let mut p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            p[i * dim + i] = delta;
+        }
+        RecursiveLeastSquares { weights: vec![0.0; dim], p, dim, forgetting, updates: 0 }
+    }
+
+    /// Warm-start from offline-trained weights (the deployment story:
+    /// ship the offline model, keep adapting online).
+    pub fn warm_start(weights: Vec<f64>, forgetting: f64, delta: f64) -> Self {
+        let mut rls = Self::new(weights.len(), forgetting, delta);
+        rls.weights = weights;
+        rls
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Updates absorbed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Predict the label of `x`.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x)
+    }
+
+    /// Absorb one `(x, target)` example; returns the *a-priori* error
+    /// (before the update), the quantity adaptation monitoring watches.
+    pub fn update(&mut self, x: &[f64], target: f64) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let n = self.dim;
+        // px = P·x
+        let px: Vec<f64> =
+            (0..n).map(|i| dot(&self.p[i * n..(i + 1) * n], x)).collect();
+        let denom = self.forgetting + dot(x, &px);
+        let err = target - self.predict(x);
+        // Gain k = px / denom; weight update.
+        for (w, &pxi) in self.weights.iter_mut().zip(&px) {
+            *w += pxi / denom * err;
+        }
+        // P ← (P − (px·pxᵀ)/denom) / λ   (symmetric rank-1 downdate).
+        for i in 0..n {
+            for j in 0..n {
+                self.p[i * n + j] =
+                    (self.p[i * n + j] - px[i] * px[j] / denom) / self.forgetting;
+            }
+        }
+        self.updates += 1;
+        err
+    }
+
+    /// Absorb a batch, returning the mean absolute a-priori error.
+    pub fn update_batch(&mut self, xs: &[&[f64]], targets: &[f64]) -> f64 {
+        assert_eq!(xs.len(), targets.len());
+        assert!(!xs.is_empty());
+        let mut acc = 0.0;
+        for (x, &t) in xs.iter().zip(targets) {
+            acc += self.update(x, t).abs();
+        }
+        acc / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(seed: &mut u64) -> f64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        (*seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn converges_to_a_stationary_linear_target() {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0, 1e4);
+        let true_w = [0.5, 2.0, -1.0];
+        let mut seed = 7u64;
+        for _ in 0..500 {
+            let x = [1.0, noise(&mut seed) * 2.0, noise(&mut seed) * 2.0];
+            let t = dot(&true_w, &x);
+            rls.update(&x, t);
+        }
+        for (w, t) in rls.weights().iter().zip(&true_w) {
+            assert!((w - t).abs() < 1e-4, "{:?}", rls.weights());
+        }
+        assert_eq!(rls.updates(), 500);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_drifting_target() {
+        // The relationship flips halfway; λ < 1 must re-converge, λ = 1
+        // gets stuck between the two regimes.
+        let run = |forgetting: f64| -> f64 {
+            let mut rls = RecursiveLeastSquares::new(2, forgetting, 100.0);
+            let mut seed = 11u64;
+            for phase in 0..2 {
+                let w = if phase == 0 { [1.0, 1.0] } else { [1.0, -1.0] };
+                for _ in 0..400 {
+                    let x = [1.0, noise(&mut seed) * 2.0];
+                    rls.update(&x, dot(&w, &x));
+                }
+            }
+            // Error against the *current* regime.
+            let mut err = 0.0;
+            for _ in 0..100 {
+                let x = [1.0, noise(&mut seed) * 2.0];
+                err += (rls.predict(&x) - dot(&[1.0, -1.0], &x)).abs();
+            }
+            err / 100.0
+        };
+        let adaptive = run(0.97);
+        let frozen = run(1.0);
+        assert!(
+            adaptive < frozen * 0.5,
+            "adaptive {adaptive} vs frozen {frozen}"
+        );
+        assert!(adaptive < 0.01, "adaptive RLS failed to re-converge: {adaptive}");
+    }
+
+    #[test]
+    fn warm_start_keeps_offline_knowledge() {
+        let offline = vec![0.5, 2.0, -1.0];
+        let rls = RecursiveLeastSquares::warm_start(offline.clone(), 0.99, 100.0);
+        let x = [1.0, 0.3, 0.7];
+        assert_eq!(rls.predict(&x), dot(&offline, &x));
+        assert_eq!(rls.updates(), 0);
+    }
+
+    #[test]
+    fn apriori_error_shrinks() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0, 100.0);
+        let mut seed = 3u64;
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..300 {
+            let x = [1.0, noise(&mut seed)];
+            let e = rls.update(&x, 3.0 * x[1] + 0.2).abs();
+            if i < 10 {
+                first += e;
+            }
+            if i >= 290 {
+                last += e;
+            }
+        }
+        assert!(last < first * 0.01, "first {first} last {last}");
+    }
+
+    #[test]
+    fn batch_update_reports_mean_error() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0, 10.0);
+        let xs: Vec<Vec<f64>> = vec![vec![1.0, 0.0], vec![1.0, 1.0]];
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let mean = rls.update_batch(&refs, &[1.0, 2.0]);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_rejected() {
+        RecursiveLeastSquares::new(3, 1.0, 10.0).update(&[1.0], 0.0);
+    }
+}

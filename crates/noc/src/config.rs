@@ -1,0 +1,124 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_topology::{DimOrder, Topology};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Network topology.
+    pub topology: Topology,
+    /// Virtual channels per input port.
+    pub vcs_per_port: usize,
+    /// Flit capacity of one VC buffer.
+    pub vc_depth: usize,
+    /// Epoch length in router-local cycles (paper default: 500; the
+    /// trade-off study sweeps 100–1000).
+    pub epoch_cycles: u64,
+    /// Consecutive idle cycles required before a router may gate off
+    /// (paper: T-Idle = 4, following Catnap).
+    pub t_idle: u64,
+    /// Router pipeline depth in local cycles (BW/RC → VA/SA → ST): a
+    /// flit spends this many cycles in a router before its link
+    /// traversal. Classic input-buffered routers are 3–4 stages.
+    pub pipeline_cycles: u64,
+    /// Dimension order of the DOR routing function (paper: XY).
+    pub routing: DimOrder,
+    /// Power Punch-style wake punching: at injection, wake signals race
+    /// down the packet's entire XY path so gated routers charge while
+    /// the packet is still upstream. Disabling it (ablation) leaves only
+    /// the one-hop look-ahead wake at route compute, so packets pay
+    /// nearly a full T-Wakeup per gated hop.
+    pub wake_punch: bool,
+    /// Hard safety limit on simulated ticks (guards against livelock in
+    /// buggy policies; generous: ~20× a typical trace horizon).
+    pub max_ticks: u64,
+}
+
+impl NocConfig {
+    /// The paper's configuration for a topology: 4 VCs × 4 flits,
+    /// epoch 500, T-Idle 4.
+    pub fn paper(topology: Topology) -> Self {
+        NocConfig {
+            topology,
+            vcs_per_port: 4,
+            vc_depth: 4,
+            epoch_cycles: 500,
+            t_idle: 4,
+            pipeline_cycles: 3,
+            routing: DimOrder::Xy,
+            wake_punch: true,
+            max_ticks: 40_000_000, // ≈ 2.2 ms of simulated time
+        }
+    }
+
+    /// Override the epoch size (the §IV-B sweep).
+    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
+        assert!(epoch_cycles >= 10, "degenerate epoch");
+        self.epoch_cycles = epoch_cycles;
+        self
+    }
+
+    /// Override T-Idle.
+    pub fn with_t_idle(mut self, t_idle: u64) -> Self {
+        self.t_idle = t_idle;
+        self
+    }
+
+    /// Use a different DOR dimension order (routing-sensitivity
+    /// experiments).
+    pub fn with_routing(mut self, routing: DimOrder) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Disable Power Punch-style path wake punching (ablation).
+    pub fn without_wake_punch(mut self) -> Self {
+        self.wake_punch = false;
+        self
+    }
+
+    /// Total flit capacity of one router's input buffers (the IBU
+    /// denominator: the paper's "theoretical maximum").
+    pub fn buffer_capacity(&self) -> usize {
+        self.topology.ports_per_router() * self.vcs_per_port * self.vc_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = NocConfig::paper(Topology::mesh8x8());
+        assert_eq!(c.vcs_per_port, 4);
+        assert_eq!(c.vc_depth, 4);
+        assert_eq!(c.epoch_cycles, 500);
+        assert_eq!(c.t_idle, 4);
+    }
+
+    #[test]
+    fn buffer_capacity_scales_with_ports() {
+        let mesh = NocConfig::paper(Topology::mesh8x8());
+        assert_eq!(mesh.buffer_capacity(), 5 * 4 * 4);
+        let cmesh = NocConfig::paper(Topology::cmesh4x4());
+        assert_eq!(cmesh.buffer_capacity(), 8 * 4 * 4);
+    }
+
+    #[test]
+    fn builders() {
+        let c = NocConfig::paper(Topology::mesh8x8())
+            .with_epoch_cycles(100)
+            .with_t_idle(8);
+        assert_eq!(c.epoch_cycles, 100);
+        assert_eq!(c.t_idle, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate epoch")]
+    fn tiny_epoch_rejected() {
+        NocConfig::paper(Topology::mesh8x8()).with_epoch_cycles(1);
+    }
+}

@@ -1,0 +1,861 @@
+//! The network: owns all routers and runs the simulation loop.
+//!
+//! ## Tick discipline
+//!
+//! The global clock advances in base ticks (18 GHz). Each router fires a
+//! local cycle when the tick counter reaches its `next_cycle_at`, then
+//! re-arms `divisor()` ticks later — so a router at 1 GHz fires every 18
+//! ticks, one at 2.25 GHz every 8. All flit movement happens inside the
+//! *upstream* router's cycle, which is what makes hop latency follow the
+//! sender's frequency (§III-A). A flit that lands in a downstream buffer
+//! carries `ready_at = tick + 1`, so it can never traverse two routers
+//! within one base tick regardless of router iteration order.
+//!
+//! ## Power mechanics
+//!
+//! Gating (Fig. 3(a)): an active router gates off when its policy permits
+//! gating, its buffers have been empty ≥ T-Idle consecutive cycles, no
+//! attached core has a pending injection, and it is not *secured* as the
+//! downstream router of any in-flight packet. Route computation secures
+//! the downstream router of every packet (look-ahead) and wakes it if it
+//! is off; a local injection wakes the router it targets. Wake-ups pay
+//! the target mode's T-Wakeup; active-mode switches pay T-Switch;
+//! off-residencies shorter than T-Breakeven are counted as violations.
+
+use dozznoc_power::{EnergyLedger, MlOverhead, TransitionEnergy, VfTable};
+use dozznoc_topology::{Port, Topology, XyRouter};
+use dozznoc_traffic::Trace;
+use dozznoc_types::{Flit, FlitKind, Mode, PowerState, RouterId, SimTime};
+
+use std::collections::VecDeque;
+
+use crate::buffer::VcRoute;
+use crate::config::NocConfig;
+use crate::policy::PowerPolicy;
+use crate::router::{port_class, Router};
+use crate::stats::{RunReport, RunStats};
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded `NocConfig::max_ticks` without draining —
+    /// either the network is hopelessly saturated or a policy livelocked
+    /// it. Carries the flits still in flight.
+    Livelock {
+        /// Flits still undelivered at abort time.
+        in_flight: u64,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Livelock { in_flight } => {
+                write!(f, "simulation hit max_ticks with {in_flight} flits in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulated network.
+pub struct Network {
+    cfg: NocConfig,
+    topo: Topology,
+    xy: XyRouter,
+    vf: VfTable,
+    routers: Vec<Router>,
+    /// Downstream-secure reference counts, one per router.
+    secured: Vec<u32>,
+    /// Per-core injection queues (unbounded NI buffers).
+    inject: Vec<VecDeque<Flit>>,
+    ledger: EnergyLedger,
+    transition: TransitionEnergy,
+    stats: RunStats,
+    now: u64,
+    in_flight: u64,
+    /// Tick each packet's head flit entered the network (dense by
+    /// `PacketId`; `u64::MAX` = not yet entered).
+    net_entry: Vec<u64>,
+}
+
+impl Network {
+    /// Build a network in the baseline state (everything active at M7).
+    pub fn new(cfg: NocConfig) -> Self {
+        let topo = cfg.topology;
+        let n = topo.num_routers();
+        Network {
+            cfg,
+            topo,
+            xy: XyRouter::with_order(topo, cfg.routing),
+            vf: VfTable::paper(),
+            routers: (0..n).map(|i| Router::new(RouterId::from(i), &cfg)).collect(),
+            secured: vec![0; n],
+            inject: (0..topo.num_cores()).map(|_| VecDeque::new()).collect(),
+            ledger: EnergyLedger::new(n),
+            transition: TransitionEnergy::default(),
+            stats: RunStats::default(),
+            now: 0,
+            in_flight: 0,
+            net_entry: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Borrow a router (tests, diagnostics).
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.idx()]
+    }
+
+    /// Dump per-router flow-control state to stderr (diagnostic aid for
+    /// livelock reports).
+    #[doc(hidden)]
+    pub fn dump_state(&self) {
+        eprintln!("tick {} in_flight {}", self.now, self.in_flight);
+        for (i, r) in self.routers.iter().enumerate() {
+            let occ = r.occupancy();
+            let q: usize = self
+                .topo
+                .cores_of_router(r.id)
+                .map(|c| self.inject[c.idx()].len())
+                .sum();
+            if occ == 0 && q == 0 {
+                continue;
+            }
+            eprintln!(
+                "  R{i}: state {:?} occ {occ} ni-q {q} secured {} stall_until {} next_cycle {}",
+                r.state, self.secured[i], r.stall_until, r.next_cycle_at
+            );
+            for (p, port) in r.ports.iter().enumerate() {
+                for (v, vc) in port.iter() {
+                    if !vc.is_empty() {
+                        eprintln!(
+                            "    port {p} vc {v}: len {} owner {:?} route {:?} front {:?}",
+                            vc.len(),
+                            vc.owner(),
+                            vc.route(),
+                            vc.peek_ready(u64::MAX).map(|f| (f.packet, f.kind, f.seq, f.dst))
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `trace` under `policy` to completion and report.
+    pub fn run(
+        mut self,
+        trace: &Trace,
+        policy: &mut dyn PowerPolicy,
+    ) -> Result<RunReport, SimError> {
+        assert_eq!(
+            trace.num_cores,
+            self.topo.num_cores(),
+            "trace core count does not match the topology"
+        );
+        let packets = trace.packets();
+        self.net_entry = vec![u64::MAX; packets.len()];
+        let mut next_pkt = 0usize;
+        let ml_overhead = policy.ml_features().map(MlOverhead::for_features);
+
+        loop {
+            // Admit packets whose injection time has arrived.
+            while next_pkt < packets.len()
+                && packets[next_pkt].inject_time.ticks() <= self.now
+            {
+                let p = &packets[next_pkt];
+                self.stats.packets_injected += 1;
+                self.in_flight += p.flit_count() as u64;
+                for f in p.flits() {
+                    self.inject[p.src.idx()].push_back(f);
+                }
+                // Power Punch-style wake punching: the packet's XY path
+                // is fully determined at injection, so wake signals race
+                // ahead of it and gated routers charge up while the
+                // packet is still upstream — this is what makes the
+                // gating *partially non-blocking* rather than adding a
+                // full T-Wakeup per hop. (Routers are only *secured*
+                // one hop ahead, at route compute.)
+                if self.cfg.wake_punch {
+                    for hop in self.xy.path(p.src, p.dst) {
+                        if self.routers[hop.idx()].state.is_inactive() {
+                            self.begin_wakeup(hop.idx());
+                        }
+                    }
+                } else {
+                    // Ablation: only the home router wakes at injection;
+                    // downstream routers wait for the one-hop look-ahead.
+                    let home = self.topo.router_of_core(p.src);
+                    if self.routers[home.idx()].state.is_inactive() {
+                        self.begin_wakeup(home.idx());
+                    }
+                }
+                next_pkt += 1;
+            }
+
+            // Fire every router whose local cycle lands on this tick.
+            for i in 0..self.routers.len() {
+                if self.routers[i].next_cycle_at == self.now {
+                    self.step_router(i, policy, ml_overhead.as_ref());
+                    let r = &mut self.routers[i];
+                    r.next_cycle_at = self.now + r.divisor();
+                }
+            }
+
+            if next_pkt == packets.len() && self.in_flight == 0 {
+                break;
+            }
+            if self.now >= self.cfg.max_ticks {
+                if std::env::var_os("DOZZNOC_DUMP_ON_LIVELOCK").is_some() {
+                    self.dump_state();
+                }
+                return Err(SimError::Livelock { in_flight: self.in_flight });
+            }
+
+            // Jump straight to the next event: the earliest router cycle
+            // or the next packet injection.
+            let mut next = u64::MAX;
+            for r in &self.routers {
+                next = next.min(r.next_cycle_at);
+            }
+            if next_pkt < packets.len() {
+                next = next.min(packets[next_pkt].inject_time.ticks());
+            }
+            debug_assert!(next > self.now, "time must advance");
+            self.now = next;
+        }
+
+        // Flush residual residency into the ledger.
+        let now = SimTime::from_ticks(self.now);
+        for i in 0..self.routers.len() {
+            let r = &mut self.routers[i];
+            self.ledger
+                .bill_residency(r.id, r.state, now.since(r.state_since));
+            r.state_since = now;
+        }
+
+        let per_router = self
+            .ledger
+            .routers()
+            .iter()
+            .map(|e| crate::stats::RouterSummary {
+                off_fraction: e.off_fraction(),
+                hops: e.flit_hops,
+                static_j: e.static_j,
+                dynamic_j: e.dynamic_j,
+                wakeups: e.wakeups,
+            })
+            .collect();
+        Ok(RunReport {
+            policy: policy.name().to_string(),
+            trace: trace.name.clone(),
+            finished_at: now,
+            stats: self.stats,
+            energy: self.ledger.report(),
+            per_router,
+        })
+    }
+
+    /// One local cycle of router `i`.
+    fn step_router(
+        &mut self,
+        i: usize,
+        policy: &mut dyn PowerPolicy,
+        ml_overhead: Option<&MlOverhead>,
+    ) {
+        match self.routers[i].state {
+            PowerState::Inactive => {
+                // Always-on heartbeat: account off time, advance epoch.
+                let div = self.routers[i].divisor();
+                let r = &mut self.routers[i];
+                r.counters.off_ticks += div;
+                r.total_off_ticks += div;
+                r.sample_cycle(false);
+            }
+            PowerState::Wakeup { until, target } => {
+                if self.now >= until.ticks() {
+                    self.transition(i, PowerState::Active(target));
+                    self.routers[i].idle_streak = 0;
+                }
+                let secured = self.secured[i] > 0;
+                self.routers[i].sample_cycle(secured);
+            }
+            PowerState::Active(_) => {
+                let secured = self.secured[i] > 0;
+                self.routers[i].sample_cycle(secured);
+                if self.routers[i].operational(self.now) {
+                    self.inject_flits(i);
+                    self.route_compute(i);
+                    self.switch_allocate(i);
+                }
+                self.maybe_gate_off(i, policy.gating_enabled());
+            }
+        }
+
+        // Epoch bookkeeping (all states: idle epochs train the model).
+        self.routers[i].cycles_into_epoch += 1;
+        if self.routers[i].at_epoch_boundary(self.cfg.epoch_cycles) {
+            let obs = self.routers[i].end_epoch(self.now.max(1));
+            let mode = policy.select_mode(self.routers[i].id, &obs);
+            self.stats.epochs += 1;
+            self.stats.mode_selections[mode.rank()] += 1;
+            if let Some(oh) = ml_overhead {
+                self.ledger.bill_label(self.routers[i].id, oh);
+            }
+            self.apply_mode(i, mode);
+        }
+    }
+
+    /// Apply an epoch mode decision: switch an active router (paying
+    /// T-Switch) or retarget a gated router's future wake-up.
+    fn apply_mode(&mut self, i: usize, mode: Mode) {
+        self.routers[i].selected_mode = mode;
+        if let PowerState::Active(cur) = self.routers[i].state {
+            if cur != mode {
+                self.transition(i, PowerState::Active(mode));
+                let stall = self.vf.timings(mode).t_switch();
+                self.routers[i].stall_until = self.now + stall.ticks();
+                let id = self.routers[i].id;
+                self.ledger.bill_transition(id, self.transition.mode_switch_j(cur, mode));
+            }
+        }
+    }
+
+    /// Inject up to one flit per local port from the attached cores' NI
+    /// queues.
+    fn inject_flits(&mut self, i: usize) {
+        let router_id = self.routers[i].id;
+        let cores: Vec<_> = self.topo.cores_of_router(router_id).collect();
+        for (slot, core) in cores.into_iter().enumerate() {
+            let Some(&flit) = self.inject[core.idx()].front() else { continue };
+            let port_idx = Port::Local(slot as u8).index();
+            let r = &mut self.routers[i];
+            let divisor = r.divisor();
+            let port = &mut r.ports[port_idx];
+            let target_vc = if flit.kind.is_head() {
+                port.free_vc()
+            } else {
+                (0..port.num_vcs())
+                    .find(|&v| port.vc(v).owner() == Some(flit.packet))
+                    .map(|v| v as u8)
+            };
+            let Some(vc) = target_vc else { continue };
+            if !port.vc(vc as usize).has_space() {
+                continue;
+            }
+            // The flit spends the router pipeline (minus the ST cycle
+            // the switch allocator itself models) before it may move on.
+            let ready = self.now + 1 + (self.cfg.pipeline_cycles - 1) * divisor;
+            port.vc_mut(vc as usize).push(flit, ready);
+            if flit.kind.is_head() {
+                self.net_entry[flit.packet.0 as usize] = self.now;
+            }
+            self.inject[core.idx()].pop_front();
+            let c = &mut r.counters;
+            c.flits_injected += 1;
+            c.flits_in[port_class(port_idx)] += 1;
+            if flit.kind.is_head() {
+                // Single-flit packets are requests, multi-flit are
+                // responses (PacketKind::flit_count).
+                if flit.kind == FlitKind::Single {
+                    c.reqs_sent += 1;
+                } else {
+                    c.resps_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Compute routes (and secure/wake downstream routers) for every VC
+    /// holding an unrouted packet head.
+    fn route_compute(&mut self, i: usize) {
+        let router_id = self.routers[i].id;
+        let n_ports = self.routers[i].ports.len();
+        let n_vcs = self.cfg.vcs_per_port;
+        for p in 0..n_ports {
+            for v in 0..n_vcs {
+                let vc = self.routers[i].ports[p].vc(v);
+                if vc.owner().is_none() || vc.route().is_some() || vc.is_empty() {
+                    continue;
+                }
+                let dst = vc
+                    .peek_ready(u64::MAX)
+                    .expect("non-empty VC has a front flit")
+                    .dst;
+                let out_port = self.xy.output_port(router_id, dst);
+                let next_router = self.xy.next_hop(router_id, dst);
+                self.routers[i].ports[p].vc_mut(v).set_route(VcRoute {
+                    out_port,
+                    next_router,
+                    out_vc: None,
+                });
+                if let Some(d) = next_router {
+                    self.secure(d.idx());
+                }
+            }
+        }
+    }
+
+    /// Switch allocation: for every output port pick one ready input VC
+    /// (round-robin) and move its head flit.
+    fn switch_allocate(&mut self, i: usize) {
+        let n_ports = self.routers[i].ports.len();
+        let n_vcs = self.cfg.vcs_per_port;
+        let n_slots = n_ports * n_vcs;
+        for out in 0..n_ports {
+            // Gather ready candidates targeting this output.
+            let mut candidates: Vec<usize> = Vec::new();
+            for p in 0..n_ports {
+                for v in 0..n_vcs {
+                    let vc = self.routers[i].ports[p].vc(v);
+                    let Some(route) = vc.route() else { continue };
+                    if route.out_port.index() == out && vc.peek_ready(self.now).is_some() {
+                        candidates.push(p * n_vcs + v);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            // Round-robin among candidates, starting after the last
+            // winner for this output. A candidate that cannot actually
+            // send (downstream gated, no free VC, no space) must not
+            // hold the grant — skipping it is what keeps a blocked head
+            // from starving every other packet on this output.
+            let start = self.routers[i].sa_rr[out];
+            candidates.sort_by_key(|&s| (s + n_slots - start) % n_slots);
+            let mut sent = false;
+            for &s in &candidates {
+                if self.try_send(i, s / n_vcs, s % n_vcs) {
+                    self.routers[i].sa_rr[out] = (s + 1) % n_slots;
+                    sent = true;
+                    break;
+                }
+            }
+            let c = &mut self.routers[i].counters;
+            if !sent {
+                // Every candidate was blocked downstream.
+                c.credit_stall_cycles += 1;
+            } else if candidates.len() > 1 {
+                // Losers of a granted output stalled this cycle.
+                c.stall_cycles += 1;
+            }
+        }
+    }
+
+    /// Try to move the head flit of `(port, vc)` through the switch.
+    /// Returns false when blocked on downstream state or space.
+    fn try_send(&mut self, i: usize, port: usize, vc: usize) -> bool {
+        let route = *self.routers[i].ports[port].vc(vc).route().expect("routed VC");
+        match route.out_port {
+            Port::Local(_) => {
+                self.eject(i, port, vc, route.out_port);
+                true
+            }
+            Port::Dir(dir) => {
+                let d = route
+                    .next_router
+                    .expect("direction routes have a downstream router")
+                    .idx();
+                if !self.routers[d].state.is_operational()
+                    || self.now < self.routers[d].stall_until
+                {
+                    return false;
+                }
+                let down_port = Port::Dir(dir.opposite()).index();
+                let flit_is_head = self.routers[i].ports[port]
+                    .vc(vc)
+                    .peek_ready(self.now)
+                    .expect("caller checked readiness")
+                    .kind
+                    .is_head();
+                // Pick / reuse the downstream VC.
+                let down_vc = if flit_is_head {
+                    match self.routers[d].ports[down_port].free_vc() {
+                        Some(v) => {
+                            self.routers[i].ports[port].vc_mut(vc).set_out_vc(v);
+                            v
+                        }
+                        None => return false,
+                    }
+                } else {
+                    match route.out_vc {
+                        Some(v) => v,
+                        None => return false, // head not yet sent
+                    }
+                };
+                if !self.routers[d].ports[down_port].vc(down_vc as usize).has_space() {
+                    return false;
+                }
+                // Move the flit.
+                let flit = self.routers[i].ports[port].vc_mut(vc).pop();
+                let mode = match self.routers[i].state {
+                    PowerState::Active(m) => m,
+                    _ => unreachable!("only active routers allocate"),
+                };
+                let ready = self.now
+                    + 1
+                    + (self.cfg.pipeline_cycles - 1) * self.routers[d].divisor();
+                self.routers[d].ports[down_port]
+                    .vc_mut(down_vc as usize)
+                    .push(flit, ready);
+                let out_class = port_class(route.out_port.index());
+                {
+                    let c = &mut self.routers[i].counters;
+                    c.flits_out[out_class] += 1;
+                    c.class_busy_cycles[out_class] += 1;
+                    c.hops += 1;
+                }
+                self.routers[d].counters.flits_in[port_class(down_port)] += 1;
+                self.ledger.bill_hop(self.routers[i].id, mode);
+                if flit.kind.is_tail() {
+                    self.unsecure(d);
+                }
+                true
+            }
+        }
+    }
+
+    /// Eject the head flit of `(port, vc)` to the attached core.
+    fn eject(&mut self, i: usize, port: usize, vc: usize, out_port: Port) {
+        let flit = self.routers[i].ports[port].vc_mut(vc).pop();
+        let mode = match self.routers[i].state {
+            PowerState::Active(m) => m,
+            _ => unreachable!("only active routers eject"),
+        };
+        let out_class = port_class(out_port.index());
+        {
+            let c = &mut self.routers[i].counters;
+            c.flits_ejected += 1;
+            c.flits_out[out_class] += 1;
+            c.class_busy_cycles[out_class] += 1;
+            c.hops += 1;
+        }
+        // Router + ejection-link traversal costs one hop charge too.
+        self.ledger.bill_hop(self.routers[i].id, mode);
+        self.in_flight -= 1;
+        self.stats.flits_delivered += 1;
+        if flit.kind.is_tail() {
+            let c = &mut self.routers[i].counters;
+            if flit.kind == FlitKind::Single {
+                c.reqs_recv += 1;
+            } else {
+                c.resps_recv += 1;
+            }
+            self.stats.packets_delivered += 1;
+            let latency = self.now.saturating_sub(flit.inject_time.ticks());
+            self.stats.latency_sum_ticks += latency as u128;
+            self.stats.latency_max_ticks = self.stats.latency_max_ticks.max(latency);
+            let entered = self.net_entry[flit.packet.0 as usize];
+            debug_assert_ne!(entered, u64::MAX, "delivered before entering?");
+            let net_latency = self.now.saturating_sub(entered);
+            self.stats.net_latency_sum_ticks += net_latency as u128;
+            self.stats.net_latency_max_ticks =
+                self.stats.net_latency_max_ticks.max(net_latency);
+            self.stats.net_latency_hist.record(net_latency);
+            self.stats.last_delivery = SimTime::from_ticks(self.now);
+        }
+    }
+
+    /// Gate the router off when every Fig. 3(a) condition holds.
+    fn maybe_gate_off(&mut self, i: usize, gating_enabled: bool) {
+        if !gating_enabled {
+            return;
+        }
+        let r = &self.routers[i];
+        if r.idle_streak < self.cfg.t_idle
+            || !r.buffers_empty()
+            || self.secured[i] > 0
+            || self.now < r.stall_until
+        {
+            return;
+        }
+        // No pending local injection either (it would re-wake instantly).
+        let router_id = r.id;
+        let has_pending = self
+            .topo
+            .cores_of_router(router_id)
+            .any(|c| !self.inject[c.idx()].is_empty());
+        if has_pending {
+            return;
+        }
+        self.transition(i, PowerState::Inactive);
+        let r = &mut self.routers[i];
+        r.off_since = Some(SimTime::from_ticks(self.now));
+        r.lifetime_gate_offs += 1;
+        self.ledger.note_gate_off(router_id);
+    }
+
+    /// Secure router `d` as a downstream router; wake it if gated.
+    fn secure(&mut self, d: usize) {
+        self.secured[d] += 1;
+        if self.routers[d].state.is_inactive() {
+            self.begin_wakeup(d);
+        }
+    }
+
+    /// Release one downstream-secure reference on router `d`.
+    fn unsecure(&mut self, d: usize) {
+        debug_assert!(self.secured[d] > 0, "unbalanced unsecure");
+        self.secured[d] = self.secured[d].saturating_sub(1);
+    }
+
+    /// Begin waking a gated router into its selected mode.
+    fn begin_wakeup(&mut self, i: usize) {
+        debug_assert!(self.routers[i].state.is_inactive());
+        let target = self.routers[i].selected_mode;
+        let t_wakeup = self.vf.timings(target).t_wakeup();
+        let until = SimTime::from_ticks(self.now + t_wakeup.ticks());
+        // T-Breakeven accounting.
+        if let Some(off_since) = self.routers[i].off_since.take() {
+            let off_for = self.now.saturating_sub(off_since.ticks());
+            if off_for < self.vf.timings(target).t_breakeven().ticks() {
+                self.ledger.note_breakeven_violation(self.routers[i].id);
+            }
+        }
+        self.transition(i, PowerState::Wakeup { target, until });
+        self.routers[i].lifetime_wakeups += 1;
+        let id = self.routers[i].id;
+        self.ledger.note_wakeup(id);
+        self.ledger.bill_transition(id, self.transition.wakeup_j(target));
+        // The heartbeat must check `until` promptly.
+        let r = &mut self.routers[i];
+        r.next_cycle_at = r.next_cycle_at.min(self.now + r.divisor());
+    }
+
+    /// Change power state, billing the residency of the outgoing state.
+    fn transition(&mut self, i: usize, new_state: PowerState) {
+        let now = SimTime::from_ticks(self.now);
+        let r = &mut self.routers[i];
+        self.ledger.bill_residency(r.id, r.state, now.since(r.state_since));
+        r.state = new_state;
+        r.state_since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AlwaysMode;
+    use dozznoc_traffic::trace::packet;
+    use dozznoc_types::PacketKind;
+
+    fn mesh_cfg() -> NocConfig {
+        NocConfig::paper(Topology::mesh8x8())
+    }
+
+    fn one_packet_trace(src: u16, dst: u16, kind: PacketKind) -> Trace {
+        Trace::new("unit", 64, vec![packet(src, dst, kind, 1.0)])
+    }
+
+    /// A single packet injected *after* the first epoch boundary
+    /// (≈222 ns at M7), so an `AlwaysMode` policy's choice has already
+    /// taken effect when the packet traverses.
+    fn late_packet_trace(src: u16, dst: u16, kind: PacketKind) -> Trace {
+        Trace::new("late", 64, vec![packet(src, dst, kind, 400.0)])
+    }
+
+    fn run(trace: &Trace, policy: &mut dyn PowerPolicy) -> RunReport {
+        Network::new(mesh_cfg()).run(trace, policy).expect("run completes")
+    }
+
+    #[test]
+    fn single_request_delivers() {
+        let t = one_packet_trace(0, 63, PacketKind::Request);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M7));
+        assert_eq!(r.stats.packets_delivered, 1);
+        assert_eq!(r.stats.flits_delivered, 1);
+        assert!(r.stats.avg_latency_ns() > 0.0);
+    }
+
+    #[test]
+    fn response_delivers_all_flits() {
+        let t = one_packet_trace(5, 40, PacketKind::Response);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M7));
+        assert_eq!(r.stats.packets_delivered, 1);
+        assert_eq!(r.stats.flits_delivered, 5);
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let near = run(
+            &one_packet_trace(0, 1, PacketKind::Request),
+            &mut AlwaysMode::new(Mode::M7),
+        );
+        let far = run(
+            &one_packet_trace(0, 63, PacketKind::Request),
+            &mut AlwaysMode::new(Mode::M7),
+        );
+        assert!(
+            far.stats.avg_latency_ns() > near.stats.avg_latency_ns(),
+            "far {} ns vs near {} ns",
+            far.stats.avg_latency_ns(),
+            near.stats.avg_latency_ns()
+        );
+    }
+
+    #[test]
+    fn lower_mode_is_slower() {
+        let t = late_packet_trace(0, 63, PacketKind::Response);
+        let fast = run(&t, &mut AlwaysMode::new(Mode::M7));
+        let slow = run(&t, &mut AlwaysMode::new(Mode::M3));
+        assert!(
+            slow.stats.avg_latency_ns() > fast.stats.avg_latency_ns() * 1.5,
+            "slow {} ns vs fast {} ns",
+            slow.stats.avg_latency_ns(),
+            fast.stats.avg_latency_ns()
+        );
+    }
+
+    #[test]
+    fn lower_mode_uses_less_dynamic_energy() {
+        let t = late_packet_trace(0, 63, PacketKind::Response);
+        let fast = run(&t, &mut AlwaysMode::new(Mode::M7));
+        let slow = run(&t, &mut AlwaysMode::new(Mode::M3));
+        assert!(slow.energy.dynamic_j < fast.energy.dynamic_j);
+        // Same flits, same hops — only the per-hop cost differs.
+        assert_eq!(slow.energy.flit_hops, fast.energy.flit_hops);
+    }
+
+    #[test]
+    fn hop_count_matches_route_length() {
+        // 0 → 7 on the top row: 7 link hops + 1 ejection = 8 hop charges.
+        let t = one_packet_trace(0, 7, PacketKind::Request);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M7));
+        assert_eq!(r.energy.flit_hops, 8);
+    }
+
+    #[test]
+    fn gating_saves_static_energy_on_idle_network() {
+        let t = one_packet_trace(0, 1, PacketKind::Request);
+        let always_on = run(&t, &mut AlwaysMode::new(Mode::M7));
+        let gated = run(&t, &mut AlwaysMode::new(Mode::M7).with_gating());
+        assert!(
+            gated.energy.static_j < always_on.energy.static_j * 0.7,
+            "gated {} J vs always-on {} J",
+            gated.energy.static_j,
+            always_on.energy.static_j
+        );
+        assert!(gated.energy.gate_offs > 0);
+        assert!(gated.energy.off_fraction() > 0.3);
+        // Delivery still happens.
+        assert_eq!(gated.stats.packets_delivered, 1);
+    }
+
+    #[test]
+    fn gated_run_pays_wakeup_latency() {
+        // Inject a second packet long after the first so routers have
+        // gated off; its latency must absorb wake-ups.
+        let t = Trace::new(
+            "two",
+            64,
+            vec![
+                packet(0, 9, PacketKind::Request, 1.0),
+                packet(0, 9, PacketKind::Request, 800.0),
+            ],
+        );
+        let on = run(&t, &mut AlwaysMode::new(Mode::M7));
+        let gated = run(&t, &mut AlwaysMode::new(Mode::M7).with_gating());
+        assert_eq!(gated.stats.packets_delivered, 2);
+        assert!(gated.energy.wakeups > 0);
+        assert!(gated.stats.avg_latency_ns() > on.stats.avg_latency_ns());
+    }
+
+    #[test]
+    fn in_flight_conservation_under_load() {
+        // A burst of packets from many sources: everything injected must
+        // be delivered.
+        let mut pkts = Vec::new();
+        for s in 0..32u16 {
+            for k in 0..4 {
+                pkts.push(packet(s, 63 - s, PacketKind::Response, 1.0 + k as f64 * 3.0));
+            }
+        }
+        let t = Trace::new("burst", 64, pkts);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M7));
+        assert_eq!(r.stats.packets_delivered, 128);
+        assert_eq!(r.stats.flits_delivered, 128 * 5);
+    }
+
+    #[test]
+    fn gating_preserves_delivery_under_load() {
+        let mut pkts = Vec::new();
+        for s in 0..64u16 {
+            for k in 0..3 {
+                pkts.push(packet(
+                    s,
+                    (s + 17) % 64,
+                    PacketKind::Request,
+                    1.0 + k as f64 * 400.0,
+                ));
+            }
+        }
+        let t = Trace::new("gated-load", 64, pkts);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M3).with_gating());
+        assert_eq!(r.stats.packets_delivered, 192);
+    }
+
+    #[test]
+    fn cmesh_topology_works() {
+        let t = Trace::new(
+            "cmesh",
+            64,
+            vec![
+                packet(0, 63, PacketKind::Response, 1.0),
+                packet(13, 2, PacketKind::Request, 2.0),
+            ],
+        );
+        let r = Network::new(NocConfig::paper(Topology::cmesh4x4()))
+            .run(&t, &mut AlwaysMode::new(Mode::M7))
+            .unwrap();
+        assert_eq!(r.stats.packets_delivered, 2);
+    }
+
+    #[test]
+    fn epochs_fire_and_count_modes() {
+        // A trace long enough to cross several epoch boundaries.
+        let pkts = (0..40)
+            .map(|k| packet(0, 5, PacketKind::Request, 1.0 + k as f64 * 50.0))
+            .collect();
+        let t = Trace::new("epochs", 64, pkts);
+        let r = run(&t, &mut AlwaysMode::new(Mode::M4));
+        assert!(r.stats.epochs > 0);
+        // AlwaysMode(M4) selects M4 every epoch.
+        assert_eq!(r.stats.mode_selections[Mode::M4.rank()], r.stats.epochs);
+        let d = r.stats.mode_distribution();
+        assert!((d[Mode::M4.rank()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_energy_scales_with_run_length() {
+        let short = run(
+            &one_packet_trace(0, 1, PacketKind::Request),
+            &mut AlwaysMode::new(Mode::M7),
+        );
+        let long_trace = Trace::new(
+            "long",
+            64,
+            vec![
+                packet(0, 1, PacketKind::Request, 1.0),
+                packet(0, 1, PacketKind::Request, 2000.0),
+            ],
+        );
+        let long = run(&long_trace, &mut AlwaysMode::new(Mode::M7));
+        assert!(long.energy.static_j > short.energy.static_j * 10.0);
+    }
+
+    #[test]
+    fn trace_core_count_must_match() {
+        let t = Trace::new("small", 4, vec![packet(0, 1, PacketKind::Request, 0.0)]);
+        let net = Network::new(mesh_cfg());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = net.run(&t, &mut AlwaysMode::new(Mode::M7));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-epoch router observations — the raw material of ML features.
+//!
+//! At every epoch boundary the simulator snapshots one
+//! [`EpochObservation`] per router. The DozzNoC feature-extract unit
+//! (in `dozznoc-core`) maps observations to feature vectors; the data
+//! collector pairs each observation with the *next* epoch's IBU to form
+//! the training label.
+//!
+//! All rate-like fields are normalized to the epoch (per-cycle or
+//! fraction-of-capacity), so feature magnitudes are comparable across
+//! epoch sizes and V/F modes.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_types::{Mode, RouterId};
+
+/// Statistics of one port class (N/S/E/W/local-aggregate) over an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PortClassStats {
+    /// Mean buffer occupancy, as a fraction of the class's capacity.
+    pub occupancy: f64,
+    /// Flits received on this class, per cycle.
+    pub flits_in: f64,
+    /// Flits sent out of this class, per cycle.
+    pub flits_out: f64,
+    /// Fraction of cycles the class's output was busy.
+    pub link_utilization: f64,
+}
+
+/// Snapshot of one router's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochObservation {
+    /// The router observed.
+    pub router: RouterId,
+    /// Epoch sequence number (0-based).
+    pub epoch: u64,
+    /// Local cycles in the epoch (the configured epoch size).
+    pub cycles: u64,
+
+    /// Mean input-buffer utilization (fraction of the theoretical
+    /// maximum) — Table IV feature 5 and the basis of the label.
+    pub ibu: f64,
+    /// Peak per-cycle IBU.
+    pub ibu_peak: f64,
+    /// Previous epoch's mean IBU.
+    pub prev_ibu: f64,
+    /// Short-horizon EWMA of epoch IBUs (α = 0.5).
+    pub ibu_ewma_short: f64,
+    /// Long-horizon EWMA of epoch IBUs (α = 0.1).
+    pub ibu_ewma_long: f64,
+
+    /// Requests injected by attached cores, per cycle.
+    pub reqs_sent: f64,
+    /// Requests delivered to attached cores, per cycle.
+    pub reqs_recv: f64,
+    /// Responses injected by attached cores, per cycle.
+    pub resps_sent: f64,
+    /// Responses delivered to attached cores, per cycle.
+    pub resps_recv: f64,
+
+    /// Fraction of *total elapsed time* this router has been gated
+    /// (Table IV feature 4: "router total off time").
+    pub total_off_fraction: f64,
+    /// Fraction of this epoch spent gated.
+    pub epoch_off_fraction: f64,
+    /// Wake-ups so far (lifetime), per epoch elapsed.
+    pub wakeup_rate: f64,
+    /// Gate-offs so far (lifetime), per epoch elapsed.
+    pub gate_off_rate: f64,
+    /// Fraction of cycles this epoch secured as a downstream router.
+    pub secured_fraction: f64,
+    /// Fraction of cycles this epoch with all input buffers empty.
+    pub idle_fraction: f64,
+
+    /// Per-port-class statistics (N, S, E, W, local) in canonical order.
+    pub port_classes: [PortClassStats; 5],
+
+    /// Flits injected by attached cores, per cycle.
+    pub flits_injected: f64,
+    /// Flits ejected to attached cores, per cycle.
+    pub flits_ejected: f64,
+    /// Flit-hops routed through the switch, per cycle.
+    pub hops_routed: f64,
+    /// Fraction of cycles a ready head flit lost switch allocation.
+    pub stall_fraction: f64,
+    /// Fraction of cycles a send was blocked on downstream space.
+    pub credit_stall_fraction: f64,
+
+    /// Mode the router ended the epoch in (Fig. 7 residency reporting
+    /// uses the per-epoch mode decision instead).
+    pub mode: Mode,
+}
+
+impl EpochObservation {
+    /// Sanity check: every fraction within its domain. Used by debug
+    /// assertions and property tests.
+    pub fn is_well_formed(&self) -> bool {
+        let fracs = [
+            self.ibu,
+            self.ibu_peak,
+            self.prev_ibu,
+            self.ibu_ewma_short,
+            self.ibu_ewma_long,
+            self.total_off_fraction,
+            self.epoch_off_fraction,
+            self.secured_fraction,
+            self.idle_fraction,
+            self.stall_fraction,
+            self.credit_stall_fraction,
+        ];
+        fracs.iter().all(|f| (0.0..=1.0).contains(f) && f.is_finite())
+            && self.port_classes.iter().all(|p| {
+                (0.0..=1.0).contains(&p.occupancy) && (0.0..=1.0).contains(&p.link_utilization)
+            })
+            && self.ibu <= self.ibu_peak + 1e-9
+            && self.cycles > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EpochObservation {
+        EpochObservation {
+            cycles: 500,
+            mode: Mode::M7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_with_cycles_is_well_formed() {
+        assert!(base().is_well_formed());
+    }
+
+    #[test]
+    fn out_of_range_fraction_detected() {
+        let mut o = base();
+        o.ibu = 1.5;
+        assert!(!o.is_well_formed());
+        let mut o = base();
+        o.total_off_fraction = -0.1;
+        assert!(!o.is_well_formed());
+    }
+
+    #[test]
+    fn peak_must_dominate_mean() {
+        let mut o = base();
+        o.ibu = 0.5;
+        o.ibu_peak = 0.4;
+        assert!(!o.is_well_formed());
+        o.ibu_peak = 0.5;
+        assert!(o.is_well_formed());
+    }
+
+    #[test]
+    fn zero_cycles_rejected() {
+        let mut o = base();
+        o.cycles = 0;
+        assert!(!o.is_well_formed());
+    }
+}

@@ -1,0 +1,389 @@
+//! Per-router state: power state machine, input buffers, clocking and
+//! epoch counters.
+//!
+//! The router is a passive data structure; the cross-router pipeline
+//! (switch allocation, hops, wake-ups) lives in [`crate::network`]
+//! because it needs simultaneous access to both ends of every link.
+
+use dozznoc_types::{Mode, PowerState, RouterId, SimTime};
+
+use crate::buffer::InputPort;
+use crate::config::NocConfig;
+use crate::observation::{EpochObservation, PortClassStats};
+
+/// Number of port classes (N, S, E, W, local-aggregate).
+pub const PORT_CLASSES: usize = 5;
+
+/// Map a dense port index to its class (local ports collapse to class 4).
+#[inline]
+pub fn port_class(port_index: usize) -> usize {
+    port_index.min(4)
+}
+
+/// Raw per-epoch event counters; normalized into an
+/// [`EpochObservation`] at each epoch boundary.
+#[derive(Debug, Clone, Default)]
+pub struct EpochCounters {
+    /// Local cycles elapsed this epoch.
+    pub cycles: u64,
+    /// Sum over cycles of total input occupancy (flits).
+    pub occupancy_flit_cycles: u64,
+    /// Peak single-cycle occupancy (flits).
+    pub occupancy_peak: u64,
+    /// Sum over cycles of per-class occupancy (flits).
+    pub class_occupancy: [u64; PORT_CLASSES],
+    /// Flits received per class.
+    pub flits_in: [u64; PORT_CLASSES],
+    /// Flits sent per class.
+    pub flits_out: [u64; PORT_CLASSES],
+    /// Cycles with at least one flit sent out of the class.
+    pub class_busy_cycles: [u64; PORT_CLASSES],
+    /// Request packets injected by attached cores.
+    pub reqs_sent: u64,
+    /// Request packets delivered to attached cores.
+    pub reqs_recv: u64,
+    /// Response packets injected by attached cores.
+    pub resps_sent: u64,
+    /// Response packets delivered to attached cores.
+    pub resps_recv: u64,
+    /// Flits injected by attached cores.
+    pub flits_injected: u64,
+    /// Flits delivered to attached cores.
+    pub flits_ejected: u64,
+    /// Flit-hops routed through the switch.
+    pub hops: u64,
+    /// Cycles a ready head flit lost switch allocation.
+    pub stall_cycles: u64,
+    /// Cycles a send was blocked on downstream space.
+    pub credit_stall_cycles: u64,
+    /// Cycles with all input buffers empty.
+    pub idle_cycles: u64,
+    /// Cycles secured as a downstream router.
+    pub secured_cycles: u64,
+    /// Base ticks spent gated during this epoch.
+    pub off_ticks: u64,
+}
+
+impl EpochCounters {
+    fn reset(&mut self) {
+        *self = EpochCounters::default();
+    }
+}
+
+/// One router of the simulated network.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// This router's id.
+    pub id: RouterId,
+    /// Current power state.
+    pub state: PowerState,
+    /// The policy's current active-mode choice (wake-up target while
+    /// gated).
+    pub selected_mode: Mode,
+    /// Input ports, indexed by `Port::index`.
+    pub ports: Vec<InputPort>,
+    /// Tick at which the next local cycle fires.
+    pub next_cycle_at: u64,
+    /// Router performs no flit movement before this tick (T-Switch /
+    /// residual pipeline stall).
+    pub stall_until: u64,
+    /// When the current power state was entered (residency billing).
+    pub state_since: SimTime,
+    /// When the router gated off, if currently off or waking
+    /// (T-Breakeven accounting).
+    pub off_since: Option<SimTime>,
+    /// Consecutive idle cycles (T-Idle counter).
+    pub idle_streak: u64,
+    /// Round-robin switch-allocation pointer per output port.
+    pub sa_rr: Vec<usize>,
+    /// Local cycles into the current epoch.
+    pub cycles_into_epoch: u64,
+    /// Epochs completed.
+    pub epochs: u64,
+    /// Raw counters for the current epoch.
+    pub counters: EpochCounters,
+    /// Previous epoch's mean IBU.
+    pub prev_ibu: f64,
+    /// EWMA of epoch IBUs, α = 0.5.
+    pub ewma_short: f64,
+    /// EWMA of epoch IBUs, α = 0.1.
+    pub ewma_long: f64,
+    /// Lifetime base ticks spent gated.
+    pub total_off_ticks: u64,
+    /// Lifetime wake-up count.
+    pub lifetime_wakeups: u64,
+    /// Lifetime gate-off count.
+    pub lifetime_gate_offs: u64,
+    buffer_capacity: usize,
+    class_capacity: [usize; PORT_CLASSES],
+    class_ports: [usize; PORT_CLASSES],
+}
+
+impl Router {
+    /// A fresh router in the baseline state (active at M7).
+    pub fn new(id: RouterId, cfg: &NocConfig) -> Self {
+        let n_ports = cfg.topology.ports_per_router();
+        let ports: Vec<InputPort> = (0..n_ports)
+            .map(|_| InputPort::new(cfg.vcs_per_port, cfg.vc_depth))
+            .collect();
+        let per_port = cfg.vcs_per_port * cfg.vc_depth;
+        let mut class_capacity = [0usize; PORT_CLASSES];
+        let mut class_ports = [0usize; PORT_CLASSES];
+        for p in 0..n_ports {
+            class_capacity[port_class(p)] += per_port;
+            class_ports[port_class(p)] += 1;
+        }
+        Router {
+            id,
+            state: PowerState::Active(Mode::M7),
+            selected_mode: Mode::M7,
+            ports,
+            next_cycle_at: 0,
+            stall_until: 0,
+            state_since: SimTime::ZERO,
+            off_since: None,
+            idle_streak: 0,
+            sa_rr: vec![0; n_ports],
+            cycles_into_epoch: 0,
+            epochs: 0,
+            counters: EpochCounters::default(),
+            prev_ibu: 0.0,
+            ewma_short: 0.0,
+            ewma_long: 0.0,
+            total_off_ticks: 0,
+            lifetime_wakeups: 0,
+            lifetime_gate_offs: 0,
+            buffer_capacity: cfg.buffer_capacity(),
+            class_capacity,
+            class_ports,
+        }
+    }
+
+    /// Total input occupancy (flits).
+    pub fn occupancy(&self) -> usize {
+        self.ports.iter().map(InputPort::occupancy).sum()
+    }
+
+    /// Input-buffer utilization right now (fraction of capacity).
+    pub fn ibu_now(&self) -> f64 {
+        self.occupancy() as f64 / self.buffer_capacity as f64
+    }
+
+    /// True when every input buffer is empty.
+    pub fn buffers_empty(&self) -> bool {
+        self.ports.iter().all(InputPort::is_empty)
+    }
+
+    /// The clock divisor the router ticks at in its current state.
+    /// Gated/waking routers keep a slow M3-rate heartbeat for the
+    /// always-on power-management logic.
+    pub fn divisor(&self) -> u64 {
+        match self.state {
+            PowerState::Active(m) => m.divisor(),
+            PowerState::Wakeup { target, .. } => target.divisor(),
+            PowerState::Inactive => Mode::M3.divisor(),
+        }
+    }
+
+    /// True when the router may move flits this tick.
+    pub fn operational(&self, tick: u64) -> bool {
+        self.state.is_operational() && tick >= self.stall_until
+    }
+
+    /// Sample per-cycle gauges into the epoch counters. `secured` is the
+    /// network's downstream-secure count for this router.
+    pub fn sample_cycle(&mut self, secured: bool) {
+        let c = &mut self.counters;
+        c.cycles += 1;
+        let occ = self.ports.iter().map(InputPort::occupancy).sum::<usize>() as u64;
+        c.occupancy_flit_cycles += occ;
+        c.occupancy_peak = c.occupancy_peak.max(occ);
+        for (p, port) in self.ports.iter().enumerate() {
+            c.class_occupancy[port_class(p)] += port.occupancy() as u64;
+        }
+        if occ == 0 {
+            c.idle_cycles += 1;
+            self.idle_streak += 1;
+        } else {
+            self.idle_streak = 0;
+        }
+        if secured {
+            c.secured_cycles += 1;
+        }
+    }
+
+    /// True when the epoch boundary has been reached.
+    pub fn at_epoch_boundary(&self, epoch_cycles: u64) -> bool {
+        self.cycles_into_epoch >= epoch_cycles
+    }
+
+    /// Snapshot and reset the epoch counters, updating IBU histories.
+    pub fn end_epoch(&mut self, total_elapsed_ticks: u64) -> EpochObservation {
+        let c = &self.counters;
+        let cycles = c.cycles.max(1);
+        let cyc = cycles as f64;
+        let cap = self.buffer_capacity as f64;
+        let ibu = c.occupancy_flit_cycles as f64 / (cyc * cap);
+        let ibu_peak = c.occupancy_peak as f64 / cap;
+
+        let mut port_classes = [PortClassStats::default(); PORT_CLASSES];
+        for (i, pc) in port_classes.iter_mut().enumerate() {
+            let class_cap = self.class_capacity[i].max(1) as f64;
+            let n_ports = self.class_ports[i].max(1) as f64;
+            pc.occupancy = c.class_occupancy[i] as f64 / (cyc * class_cap);
+            pc.flits_in = c.flits_in[i] as f64 / cyc;
+            pc.flits_out = c.flits_out[i] as f64 / cyc;
+            pc.link_utilization =
+                (c.class_busy_cycles[i] as f64 / (cyc * n_ports)).min(1.0);
+        }
+
+        let epoch_ticks = (cycles * self.divisor()).max(1) as f64;
+        let epochs_elapsed = (self.epochs + 1) as f64;
+        let obs = EpochObservation {
+            router: self.id,
+            epoch: self.epochs,
+            cycles,
+            ibu,
+            ibu_peak,
+            prev_ibu: self.prev_ibu,
+            ibu_ewma_short: self.ewma_short,
+            ibu_ewma_long: self.ewma_long,
+            reqs_sent: c.reqs_sent as f64 / cyc,
+            reqs_recv: c.reqs_recv as f64 / cyc,
+            resps_sent: c.resps_sent as f64 / cyc,
+            resps_recv: c.resps_recv as f64 / cyc,
+            total_off_fraction: self.total_off_ticks as f64
+                / total_elapsed_ticks.max(1) as f64,
+            epoch_off_fraction: (c.off_ticks as f64 / epoch_ticks).min(1.0),
+            wakeup_rate: (self.lifetime_wakeups as f64 / epochs_elapsed).min(1.0),
+            gate_off_rate: (self.lifetime_gate_offs as f64 / epochs_elapsed).min(1.0),
+            secured_fraction: c.secured_cycles as f64 / cyc,
+            idle_fraction: c.idle_cycles as f64 / cyc,
+            port_classes,
+            flits_injected: c.flits_injected as f64 / cyc,
+            flits_ejected: c.flits_ejected as f64 / cyc,
+            hops_routed: c.hops as f64 / cyc,
+            stall_fraction: (c.stall_cycles as f64 / cyc).min(1.0),
+            credit_stall_fraction: (c.credit_stall_cycles as f64 / cyc).min(1.0),
+            mode: self.selected_mode,
+        };
+        debug_assert!(obs.is_well_formed(), "malformed observation: {obs:?}");
+
+        // Update histories for the next epoch's features.
+        self.ewma_short = 0.5 * ibu + 0.5 * self.ewma_short;
+        self.ewma_long = 0.1 * ibu + 0.9 * self.ewma_long;
+        self.prev_ibu = ibu;
+        self.epochs += 1;
+        self.cycles_into_epoch = 0;
+        self.counters.reset();
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dozznoc_topology::Topology;
+
+    fn router() -> Router {
+        Router::new(RouterId(3), &NocConfig::paper(Topology::mesh8x8()))
+    }
+
+    #[test]
+    fn starts_in_baseline_state() {
+        let r = router();
+        assert_eq!(r.state, PowerState::Active(Mode::M7));
+        assert_eq!(r.selected_mode, Mode::M7);
+        assert_eq!(r.divisor(), 8);
+        assert!(r.buffers_empty());
+        assert_eq!(r.ibu_now(), 0.0);
+        assert_eq!(r.ports.len(), 5);
+    }
+
+    #[test]
+    fn heartbeat_divisors() {
+        let mut r = router();
+        r.state = PowerState::Inactive;
+        assert_eq!(r.divisor(), Mode::M3.divisor());
+        r.state = PowerState::Wakeup { target: Mode::M6, until: SimTime::ZERO };
+        assert_eq!(r.divisor(), Mode::M6.divisor());
+    }
+
+    #[test]
+    fn operational_requires_active_and_unstalled() {
+        let mut r = router();
+        assert!(r.operational(0));
+        r.stall_until = 100;
+        assert!(!r.operational(99));
+        assert!(r.operational(100));
+        r.state = PowerState::Inactive;
+        assert!(!r.operational(200));
+    }
+
+    #[test]
+    fn idle_streak_tracks_empty_cycles() {
+        let mut r = router();
+        for _ in 0..4 {
+            r.sample_cycle(false);
+        }
+        assert_eq!(r.idle_streak, 4);
+        assert_eq!(r.counters.idle_cycles, 4);
+    }
+
+    #[test]
+    fn end_epoch_produces_well_formed_observation() {
+        let mut r = router();
+        for _ in 0..500 {
+            r.sample_cycle(false);
+            r.cycles_into_epoch += 1;
+        }
+        assert!(r.at_epoch_boundary(500));
+        let obs = r.end_epoch(4000);
+        assert!(obs.is_well_formed());
+        assert_eq!(obs.epoch, 0);
+        assert_eq!(obs.cycles, 500);
+        assert_eq!(obs.ibu, 0.0);
+        assert_eq!(obs.idle_fraction, 1.0);
+        // Counters reset for the next epoch.
+        assert_eq!(r.counters.cycles, 0);
+        assert_eq!(r.epochs, 1);
+        assert_eq!(r.cycles_into_epoch, 0);
+    }
+
+    #[test]
+    fn ewma_histories_update() {
+        let mut r = router();
+        // First epoch with some synthetic occupancy.
+        r.counters.cycles = 100;
+        r.counters.occupancy_flit_cycles = 100 * 40; // half of the 80-flit capacity
+        r.counters.occupancy_peak = 60;
+        r.cycles_into_epoch = 100;
+        let obs = r.end_epoch(1000);
+        assert!((obs.ibu - 0.5).abs() < 1e-12);
+        assert_eq!(obs.prev_ibu, 0.0);
+        // Next epoch sees the histories.
+        r.counters.cycles = 100;
+        r.cycles_into_epoch = 100;
+        let obs2 = r.end_epoch(2000);
+        assert!((obs2.prev_ibu - 0.5).abs() < 1e-12);
+        assert!((obs2.ibu_ewma_short - 0.25).abs() < 1e-12);
+        assert!((obs2.ibu_ewma_long - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn port_class_mapping() {
+        assert_eq!(port_class(0), 0);
+        assert_eq!(port_class(3), 3);
+        assert_eq!(port_class(4), 4);
+        assert_eq!(port_class(7), 4);
+    }
+
+    #[test]
+    fn cmesh_class_capacity_aggregates_locals() {
+        let r = Router::new(RouterId(0), &NocConfig::paper(Topology::cmesh4x4()));
+        // 8 ports: 4 dirs + 4 locals; class 4 holds 4 ports × 16 flits.
+        assert_eq!(r.ports.len(), 8);
+        assert_eq!(r.class_capacity[4], 4 * 16);
+        assert_eq!(r.class_ports[4], 4);
+    }
+}

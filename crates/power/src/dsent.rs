@@ -1,0 +1,149 @@
+//! DSENT-derived router+link energy costs (paper Table V).
+//!
+//! The paper used the DSENT tool at a 22 nm technology node with 128-bit
+//! flits to cost a concentrated-mesh router and its outgoing links, and
+//! published the result as Table V. Since the simulator only ever consumes
+//! DSENT through that table, encoding the table *is* the substitution —
+//! no information is lost.
+//!
+//! Columns:
+//! * **static power (J/s)** — leakage power of a router + its outgoing
+//!   links while powered at the given voltage,
+//! * **static power (cycle)** — the paper's per-cycle normalization
+//!   (relative to mode 7),
+//! * **dynamic energy (pJ/hop)** — energy to move one flit across the
+//!   router and one outgoing link.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_types::Mode;
+#[cfg(test)]
+use dozznoc_types::ACTIVE_MODES;
+
+/// One row of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeCosts {
+    /// The mode these costs describe.
+    pub mode: Mode,
+    /// Leakage power while powered at this mode's voltage, in watts.
+    pub static_power_w: f64,
+    /// The paper's normalized per-cycle static cost column.
+    pub static_per_cycle: f64,
+    /// Dynamic energy per flit-hop (router + link), in picojoules.
+    pub dynamic_pj_per_hop: f64,
+}
+
+/// Table V: per-mode energy costs for a cmesh router + outgoing links.
+/// The paper uses the cmesh costs as the worst case for both topologies;
+/// we do the same.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DsentCosts {
+    rows: [ModeCosts; 5],
+}
+
+impl Default for DsentCosts {
+    fn default() -> Self {
+        DsentCosts::paper()
+    }
+}
+
+impl DsentCosts {
+    /// The paper's Table V, verbatim.
+    pub const fn paper() -> Self {
+        const fn row(mode: Mode, sp: f64, spc: f64, de: f64) -> ModeCosts {
+            ModeCosts {
+                mode,
+                static_power_w: sp,
+                static_per_cycle: spc,
+                dynamic_pj_per_hop: de,
+            }
+        }
+        DsentCosts {
+            rows: [
+                row(Mode::M3, 0.036, 0.667, 25.1),
+                row(Mode::M4, 0.041, 0.750, 31.8),
+                row(Mode::M5, 0.045, 0.833, 39.2),
+                row(Mode::M6, 0.050, 0.917, 47.5),
+                row(Mode::M7, 0.054, 1.0, 56.5),
+            ],
+        }
+    }
+
+    /// Costs for one mode.
+    #[inline]
+    pub fn costs(&self, mode: Mode) -> &ModeCosts {
+        &self.rows[mode.rank()]
+    }
+
+    /// Leakage power in watts at a mode.
+    #[inline]
+    pub fn static_power_w(&self, mode: Mode) -> f64 {
+        self.rows[mode.rank()].static_power_w
+    }
+
+    /// Dynamic energy per flit-hop in joules at a mode.
+    #[inline]
+    pub fn dynamic_j_per_hop(&self, mode: Mode) -> f64 {
+        self.rows[mode.rank()].dynamic_pj_per_hop * 1e-12
+    }
+
+    /// All rows, for table regeneration.
+    pub fn rows(&self) -> &[ModeCosts; 5] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = DsentCosts::paper();
+        assert_eq!(c.static_power_w(Mode::M3), 0.036);
+        assert_eq!(c.static_power_w(Mode::M7), 0.054);
+        assert_eq!(c.costs(Mode::M5).dynamic_pj_per_hop, 39.2);
+        assert!((c.dynamic_j_per_hop(Mode::M7) - 56.5e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn costs_monotone_in_voltage() {
+        let c = DsentCosts::paper();
+        for w in ACTIVE_MODES.windows(2) {
+            assert!(c.static_power_w(w[0]) < c.static_power_w(w[1]));
+            assert!(c.costs(w[0]).dynamic_pj_per_hop < c.costs(w[1]).dynamic_pj_per_hop);
+            assert!(c.costs(w[0]).static_per_cycle < c.costs(w[1]).static_per_cycle);
+        }
+    }
+
+    #[test]
+    fn per_cycle_column_is_mode7_normalized() {
+        // The paper's "(Cycle)" column is the J/s column normalized to
+        // mode 7 (0.036/0.054 = 0.667, …), rounded to 3 decimals.
+        let c = DsentCosts::paper();
+        let m7 = c.static_power_w(Mode::M7);
+        for m in ACTIVE_MODES {
+            let expect = c.static_power_w(m) / m7;
+            let published = c.costs(m).static_per_cycle;
+            assert!(
+                (expect - published).abs() < 0.01,
+                "{m:?}: {published} vs derived {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_mode_saves_roughly_a_third_of_leakage() {
+        // The headline static savings from DVFS alone depend on this ratio.
+        let c = DsentCosts::paper();
+        let ratio = c.static_power_w(Mode::M3) / c.static_power_w(Mode::M7);
+        assert!((0.6..0.7).contains(&ratio));
+    }
+
+    #[test]
+    fn lowest_mode_saves_over_half_of_dynamic() {
+        let c = DsentCosts::paper();
+        let ratio = c.costs(Mode::M3).dynamic_pj_per_hop / c.costs(Mode::M7).dynamic_pj_per_hop;
+        assert!((0.4..0.5).contains(&ratio));
+    }
+}

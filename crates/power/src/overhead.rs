@@ -1,0 +1,96 @@
+//! Runtime overhead of ML label generation (paper §III-D).
+//!
+//! A label is a dot product: one 16-bit floating multiply per feature plus
+//! one add per feature beyond the first. Using Horowitz's ISSCC'14 energy
+//! and area estimates (add: 0.4 pJ / 1360 µm²; multiply: 1.1 pJ /
+//! 1640 µm²), the paper reports 7.1 pJ and 0.013 mm² for 5 features and
+//! 61.1 pJ and 0.122 mm² for the original 41-feature set; both take 3–4
+//! cycles. This module derives those numbers from first principles so the
+//! `overhead` experiment can regenerate §III-D.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy of a 16-bit floating-point add (Horowitz, ISSCC'14), picojoules.
+pub const FP16_ADD_PJ: f64 = 0.4;
+/// Area of a 16-bit floating-point adder, µm².
+pub const FP16_ADD_UM2: f64 = 1360.0;
+/// Energy of a 16-bit floating-point multiply, picojoules.
+pub const FP16_MUL_PJ: f64 = 1.1;
+/// Area of a 16-bit floating-point multiplier, µm².
+pub const FP16_MUL_UM2: f64 = 1640.0;
+
+/// Per-label overhead for a model with a given feature count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlOverhead {
+    /// Number of features (including the bias).
+    pub features: usize,
+    /// Energy per label computation, picojoules.
+    pub energy_pj: f64,
+    /// Hardware area, mm².
+    pub area_mm2: f64,
+    /// Pipeline latency in router cycles (the paper's 3–4 cycle estimate;
+    /// we take the conservative 4).
+    pub latency_cycles: u64,
+}
+
+impl MlOverhead {
+    /// Overhead of a label computed from `features` features: `features`
+    /// multiplies and `features − 1` adds.
+    pub fn for_features(features: usize) -> Self {
+        assert!(features >= 1);
+        let muls = features as f64;
+        let adds = (features - 1) as f64;
+        MlOverhead {
+            features,
+            energy_pj: muls * FP16_MUL_PJ + adds * FP16_ADD_PJ,
+            area_mm2: (muls * FP16_MUL_UM2 + adds * FP16_ADD_UM2) * 1e-6,
+            latency_cycles: 4,
+        }
+    }
+
+    /// Energy per label in joules.
+    #[inline]
+    pub fn energy_j(&self) -> f64 {
+        self.energy_pj * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reduced_set_numbers() {
+        // 5 features: 5 multiplies + 4 adds = 5.5 + 1.6 = 7.1 pJ;
+        // area = 5×1640 + 4×1360 = 13640 µm² ≈ 0.013 mm².
+        let o = MlOverhead::for_features(5);
+        assert!((o.energy_pj - 7.1).abs() < 1e-9, "{}", o.energy_pj);
+        assert!((o.area_mm2 - 0.01364).abs() < 1e-5, "{}", o.area_mm2);
+        assert!(o.latency_cycles <= 4);
+    }
+
+    #[test]
+    fn paper_full_set_numbers() {
+        // 41 features: 41 multiplies + 40 adds = 45.1 + 16 = 61.1 pJ;
+        // area = 41×1640 + 40×1360 = 121640 µm² ≈ 0.122 mm².
+        let o = MlOverhead::for_features(41);
+        assert!((o.energy_pj - 61.1).abs() < 1e-9, "{}", o.energy_pj);
+        assert!((o.area_mm2 - 0.12164).abs() < 1e-5, "{}", o.area_mm2);
+    }
+
+    #[test]
+    fn overhead_scales_linearly() {
+        let a = MlOverhead::for_features(5);
+        let b = MlOverhead::for_features(10);
+        assert!(b.energy_pj > a.energy_pj);
+        // Slope per extra feature = one multiply + one add.
+        let slope = (b.energy_pj - a.energy_pj) / 5.0;
+        assert!((slope - (FP16_MUL_PJ + FP16_ADD_PJ)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_features_rejected() {
+        MlOverhead::for_features(0);
+    }
+}

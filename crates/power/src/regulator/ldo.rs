@@ -1,0 +1,111 @@
+//! Low-dropout linear regulator model.
+//!
+//! An LDO passes its input rail through a pass transistor; the voltage it
+//! burns (the *dropout*, `Vin − Vout`) is dissipated as heat, so its power
+//! efficiency is at best `Vout / Vin`. The DozzNoC design keeps every LDO
+//! within 100 mV of its selected SIMO rail (paper Table I), which is what
+//! makes DVFS power-efficient despite using linear regulation for the
+//! final stage.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum dropout the DozzNoC rail assignment ever produces (100 mV).
+pub const MAX_DESIGN_DROPOUT_V: f64 = 0.1;
+
+/// A low-dropout linear regulator fed from a selectable input rail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ldo {
+    /// Input rail voltage currently selected by the mux.
+    pub vin: f64,
+    /// Regulated output voltage.
+    pub vout: f64,
+}
+
+impl Ldo {
+    /// Configure an LDO. Panics if the output exceeds the input (an LDO
+    /// can only drop voltage) or either is negative.
+    pub fn new(vin: f64, vout: f64) -> Self {
+        assert!(vin >= 0.0 && vout >= 0.0, "voltages must be non-negative");
+        assert!(
+            vout <= vin + 1e-12,
+            "LDO cannot boost: vout {vout} > vin {vin}"
+        );
+        Ldo { vin, vout }
+    }
+
+    /// Dropout voltage `Vin − Vout`.
+    #[inline]
+    pub fn dropout(&self) -> f64 {
+        self.vin - self.vout
+    }
+
+    /// Ideal power efficiency of linear regulation, `Vout / Vin`
+    /// (quiescent current neglected, as in the paper's Fig. 6 framing).
+    /// A gated LDO (both rails at 0 V) is defined as 100% efficient —
+    /// it conveys no power and wastes none.
+    #[inline]
+    pub fn efficiency(&self) -> f64 {
+        if self.vin == 0.0 {
+            1.0
+        } else {
+            self.vout / self.vin
+        }
+    }
+
+    /// True if this configuration respects the DozzNoC ≤100 mV design
+    /// envelope.
+    #[inline]
+    pub fn within_design_dropout(&self) -> bool {
+        self.dropout() <= MAX_DESIGN_DROPOUT_V + 1e-12
+    }
+
+    /// The power-gated configuration: input and output both grounded.
+    pub fn gated() -> Self {
+        Ldo { vin: 0.0, vout: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_and_efficiency() {
+        let ldo = Ldo::new(0.9, 0.8);
+        assert!((ldo.dropout() - 0.1).abs() < 1e-12);
+        assert!((ldo.efficiency() - 8.0 / 9.0).abs() < 1e-12);
+        assert!(ldo.within_design_dropout());
+    }
+
+    #[test]
+    fn paper_motivating_example() {
+        // §II: an LDO scaled from 1.1 V down to 0.8 V from a 1.2 V input
+        // drops from 92% to 67% efficiency.
+        let hi = Ldo::new(1.2, 1.1);
+        let lo = Ldo::new(1.2, 0.8);
+        assert!((hi.efficiency() - 0.9167).abs() < 1e-3);
+        assert!((lo.efficiency() - 0.6667).abs() < 1e-3);
+        assert!(!lo.within_design_dropout());
+    }
+
+    #[test]
+    fn zero_dropout_is_lossless() {
+        let ldo = Ldo::new(1.2, 1.2);
+        assert_eq!(ldo.dropout(), 0.0);
+        assert_eq!(ldo.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn gated_ldo_is_well_defined() {
+        let ldo = Ldo::gated();
+        assert_eq!(ldo.dropout(), 0.0);
+        assert_eq!(ldo.efficiency(), 1.0);
+        assert!(ldo.within_design_dropout());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot boost")]
+    fn boosting_rejected() {
+        Ldo::new(0.8, 0.9);
+    }
+}

@@ -1,0 +1,19 @@
+//! Behavioural model of the DozzNoC SIMO/LDO power delivery system
+//! (paper §III-C, Figs. 4–6, Tables I–II).
+//!
+//! The circuit: one single-inductor multiple-output (SIMO) switching
+//! converter regulates three rails (0.9 V, 1.1 V, 1.2 V) with
+//! time-multiplexed control; each router (and its outgoing links) is fed
+//! by its own low-dropout linear regulator (LDO) whose input is muxed
+//! among the three rails so the dropout never exceeds 100 mV. Power-gating
+//! grounds both LDO input and output.
+//!
+//! The network simulator consumes this model through three interfaces:
+//! switching/wake-up delays ([`delay`]), conversion efficiency
+//! ([`efficiency`]) and transient waveforms ([`waveform`], for Fig. 5).
+
+pub mod delay;
+pub mod efficiency;
+pub mod ldo;
+pub mod simo;
+pub mod waveform;

@@ -1,0 +1,197 @@
+//! Transient waveforms of the LDO output (paper Fig. 5).
+//!
+//! Fig. 5 shows the measured LDO output settling during (a) a power-gating
+//! wake-up (0 V → 0.8 V in 8.5 ns) and (b) a DVFS step (0.8 V → 1.2 V).
+//! We model the closed-loop LDO as a standard second-order underdamped
+//! system — the textbook response of a two-pole regulator loop — with the
+//! natural frequency calibrated so the 1%-band settling time equals the
+//! measured latency from Table II. This reproduces the waveform *shape*
+//! (fast rise, small overshoot, exponentially decaying ring) that the
+//! paper's SPICE traces show.
+
+use serde::{Deserialize, Serialize};
+
+/// Damping ratio of the modelled LDO loop. 0.7 gives the mild (<5%)
+/// overshoot visible in the paper's traces.
+pub const DAMPING_RATIO: f64 = 0.7;
+
+/// Settling band as a fraction of the step size (1%).
+pub const SETTLE_BAND: f64 = 0.01;
+
+/// A single voltage transition of the LDO output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transient {
+    /// Initial output voltage.
+    pub v_from: f64,
+    /// Target output voltage.
+    pub v_to: f64,
+    /// Natural frequency of the loop, rad/ns.
+    omega_n: f64,
+}
+
+/// Normalized (ωn = 1) unit step response of the modelled loop:
+/// `y(t) = 1 − e^{−ζt}·sin(ω_d t + θ)/√(1−ζ²)` with `θ = arccos ζ`,
+/// which satisfies `y(0) = 0`, `y'(0) = 0`.
+fn unit_step(t: f64) -> f64 {
+    let zeta = DAMPING_RATIO;
+    let root = (1.0 - zeta * zeta).sqrt();
+    let wd = root; // ω_d = ωn·√(1−ζ²) with ωn = 1
+    1.0 - (-zeta * t).exp() * (wd * t + zeta.acos()).sin() / root
+}
+
+/// ±1% settling time of the normalized (ωn = 1) step response, found
+/// numerically once. Settling time scales as 1/ωn (pure time scaling),
+/// which gives exact calibration.
+fn unit_settling_time() -> f64 {
+    let horizon = 40.0;
+    let n = 400_000;
+    for i in (0..=n).rev() {
+        let t = horizon * i as f64 / n as f64;
+        if (unit_step(t) - 1.0).abs() > SETTLE_BAND {
+            return horizon * (i + 1) as f64 / n as f64;
+        }
+    }
+    0.0
+}
+
+impl Transient {
+    /// Model a transition that settles (to within 1% of the step) in
+    /// `settle_ns` nanoseconds — the latency measured in Table II.
+    pub fn with_settling_time(v_from: f64, v_to: f64, settle_ns: f64) -> Self {
+        assert!(settle_ns > 0.0, "settling time must be positive");
+        // Settling time scales exactly as 1/ωn: measure it once for
+        // ωn = 1 and scale.
+        let omega_n = unit_settling_time() / settle_ns;
+        Transient { v_from, v_to, omega_n }
+    }
+
+    /// Output voltage `t_ns` nanoseconds after the transition begins.
+    pub fn sample(&self, t_ns: f64) -> f64 {
+        if t_ns <= 0.0 {
+            return self.v_from;
+        }
+        self.v_from + (self.v_to - self.v_from) * unit_step(self.omega_n * t_ns)
+    }
+
+    /// Numerically measured settling time: the last instant the output is
+    /// outside ±1% of the step around the target.
+    pub fn settling_time_ns(&self) -> f64 {
+        let step = (self.v_to - self.v_from).abs();
+        if step == 0.0 {
+            return 0.0;
+        }
+        let band = SETTLE_BAND * step;
+        // March backward from a generous horizon at fine resolution.
+        let horizon = 40.0 / self.omega_n;
+        let n = 200_000;
+        for i in (0..=n).rev() {
+            let t = horizon * i as f64 / n as f64;
+            if (self.sample(t) - self.v_to).abs() > band {
+                return horizon * (i + 1) as f64 / n as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Peak overshoot beyond the target, in volts (0 for a critically or
+    /// overdamped response).
+    pub fn overshoot_v(&self) -> f64 {
+        let zeta = DAMPING_RATIO;
+        let frac = (-zeta * core::f64::consts::PI / (1.0 - zeta * zeta).sqrt()).exp();
+        (self.v_to - self.v_from).abs() * frac
+    }
+
+    /// Sample the waveform at `n`+1 evenly spaced instants over
+    /// `duration_ns`, returning `(t_ns, volts)` pairs — the Fig. 5 series.
+    pub fn series(&self, duration_ns: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 1);
+        (0..=n)
+            .map(|i| {
+                let t = duration_ns * i as f64 / n as f64;
+                (t, self.sample(t))
+            })
+            .collect()
+    }
+}
+
+/// The paper's Fig. 5(a): wake-up from 0 V to 0.8 V, settling in 8.5 ns.
+pub fn fig5a_wakeup() -> Transient {
+    Transient::with_settling_time(0.0, 0.8, 8.5)
+}
+
+/// The paper's Fig. 5(b): DVFS step from 0.8 V to 1.2 V, settling in
+/// 6.7 ns (Table II row 0.8 V → column 1.2 V).
+pub fn fig5b_switch() -> Transient {
+    Transient::with_settling_time(0.8, 1.2, 6.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_v_from_and_converges_to_v_to() {
+        let t = fig5a_wakeup();
+        assert_eq!(t.sample(0.0), 0.0);
+        assert!((t.sample(100.0) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settling_time_matches_calibration() {
+        for (tr, want) in [(fig5a_wakeup(), 8.5), (fig5b_switch(), 6.7)] {
+            let got = tr.settling_time_ns();
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "settling {got} ns, calibrated for {want} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn overshoot_is_small_but_present() {
+        let t = fig5a_wakeup();
+        let os = t.overshoot_v();
+        // ζ = 0.7 → ≈4.6% overshoot: visible ringing, no gross spike.
+        assert!(os > 0.0);
+        assert!(os < 0.05 * 0.8);
+        // The sampled waveform actually exceeds the target at the peak.
+        let peak = t
+            .series(20.0, 2000)
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(f64::MIN, f64::max);
+        assert!(peak > 0.8);
+        assert!((peak - (0.8 + os)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn falling_transition_mirrors_rising() {
+        let down = Transient::with_settling_time(1.2, 0.8, 6.9);
+        assert_eq!(down.sample(0.0), 1.2);
+        assert!((down.sample(100.0) - 0.8).abs() < 1e-6);
+        // Undershoot below the target mirrors overshoot above it.
+        let trough = down
+            .series(20.0, 2000)
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(f64::MAX, f64::min);
+        assert!(trough < 0.8);
+    }
+
+    #[test]
+    fn series_is_well_formed() {
+        let s = fig5b_switch().series(10.0, 100);
+        assert_eq!(s.len(), 101);
+        assert_eq!(s[0], (0.0, 0.8));
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn null_transition_settles_instantly() {
+        let t = Transient::with_settling_time(0.8, 0.8, 5.0);
+        assert_eq!(t.settling_time_ns(), 0.0);
+        assert_eq!(t.sample(3.0), 0.8);
+    }
+}

@@ -1,0 +1,179 @@
+//! Energy cost of voltage transitions (extension).
+//!
+//! The paper accounts transitions through *time* (T-Switch, T-Wakeup,
+//! T-Breakeven) but not through *charge*: stepping a router's rail from
+//! `V1` to `V2` moves `Q = C·(V2−V1)` through the supply, costing
+//! `C·V2·(V2−V1)` drawn energy on an up-step (half stored, half burned
+//! in the pass device), and dumping `½·C·(V1²−V2²)` of stored energy on
+//! a down-step.
+//!
+//! Rather than invent a capacitance, we *calibrate it from the paper*:
+//! T-Breakeven is by definition the off-time whose leakage saving equals
+//! the cost of one gate/wake round trip, so
+//! `C·V² ≈ T_breakeven(mode) × P_static(mode)`. Table III + Table V
+//! imply C between ≈0.20 nF (M7) and ≈0.45 nF (M3); this model ships
+//! their geometric mean, ≈0.30 nF (see the tests).
+//!
+//! The ledger reports transition energy separately (`transition_j`) so
+//! the paper's accounting stays untouched; the `dozz-repro` harness can
+//! then show it is small relative to the static savings — the implicit
+//! justification for the paper ignoring it.
+
+use serde::{Deserialize, Serialize};
+
+use dozznoc_types::Mode;
+
+use crate::dsent::DsentCosts;
+use crate::vf::VfTable;
+
+/// Effective switched rail capacitance of one router + outgoing links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionEnergy {
+    /// Rail capacitance in farads.
+    pub capacitance_f: f64,
+}
+
+/// Default rail capacitance (farads), the Table III/V-implied value.
+pub const DEFAULT_CAPACITANCE_F: f64 = 0.30e-9;
+
+impl Default for TransitionEnergy {
+    fn default() -> Self {
+        TransitionEnergy { capacitance_f: DEFAULT_CAPACITANCE_F }
+    }
+}
+
+impl TransitionEnergy {
+    /// Model with an explicit capacitance.
+    pub fn new(capacitance_f: f64) -> Self {
+        assert!(capacitance_f > 0.0 && capacitance_f.is_finite());
+        TransitionEnergy { capacitance_f }
+    }
+
+    /// Supply energy drawn by a rail step `v_from → v_to` (joules).
+    /// Up-steps draw `C·V2·ΔV`; down-steps draw nothing (the stored
+    /// charge is dumped, not recovered).
+    pub fn switch_j(&self, v_from: f64, v_to: f64) -> f64 {
+        if v_to > v_from {
+            self.capacitance_f * v_to * (v_to - v_from)
+        } else {
+            0.0
+        }
+    }
+
+    /// Supply energy for a mode-to-mode DVFS switch.
+    pub fn mode_switch_j(&self, from: Mode, to: Mode) -> f64 {
+        self.switch_j(from.voltage(), to.voltage())
+    }
+
+    /// Supply energy to wake a gated router into `mode` (charging the
+    /// rail from 0 V: `C·V²`, half stored, half dissipated).
+    pub fn wakeup_j(&self, mode: Mode) -> f64 {
+        let v = mode.voltage();
+        self.capacitance_f * v * v
+    }
+
+    /// Energy dumped (not drawn, but lost) when gating off from `mode`:
+    /// the stored `½·C·V²`.
+    pub fn gate_off_loss_j(&self, mode: Mode) -> f64 {
+        0.5 * self.capacitance_f * mode.voltage() * mode.voltage()
+    }
+
+    /// The capacitance Table III + Table V imply for one mode:
+    /// `C = T_breakeven × P_static / V²`.
+    pub fn implied_capacitance_f(mode: Mode) -> f64 {
+        let vf = VfTable::paper();
+        let costs = DsentCosts::paper();
+        let t = vf.timings(mode).t_breakeven().as_secs();
+        t * costs.static_power_w(mode) / (mode.voltage() * mode.voltage())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dozznoc_types::ACTIVE_MODES;
+
+    #[test]
+    fn implied_capacitance_is_consistent_across_modes() {
+        // The paper's T-Breakeven ladder and Table V imply the same
+        // order-of-magnitude C at every mode (within ~2.5× of the
+        // geometric mean) — evidence the tables are mutually consistent
+        // and our calibration is not cherry-picked.
+        let cs: Vec<f64> =
+            ACTIVE_MODES.iter().map(|&m| TransitionEnergy::implied_capacitance_f(m)).collect();
+        let mean = cs.iter().map(|c| c.ln()).sum::<f64>() / cs.len() as f64;
+        let mean = mean.exp();
+        for (m, c) in ACTIVE_MODES.iter().zip(&cs) {
+            assert!(
+                (0.4..2.5).contains(&(c / mean)),
+                "{m:?}: implied C {c:.3e} vs geometric mean {mean:.3e}"
+            );
+        }
+        // And the shipped default sits inside the implied range.
+        let lo = cs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = cs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (lo..=hi).contains(&DEFAULT_CAPACITANCE_F),
+            "default {DEFAULT_CAPACITANCE_F:.3e} outside implied [{lo:.3e}, {hi:.3e}]"
+        );
+    }
+
+    #[test]
+    fn up_steps_cost_down_steps_do_not_draw() {
+        let t = TransitionEnergy::default();
+        assert!(t.mode_switch_j(Mode::M3, Mode::M7) > 0.0);
+        assert_eq!(t.mode_switch_j(Mode::M7, Mode::M3), 0.0);
+        assert_eq!(t.mode_switch_j(Mode::M5, Mode::M5), 0.0);
+    }
+
+    #[test]
+    fn bigger_steps_cost_more() {
+        let t = TransitionEnergy::default();
+        assert!(t.mode_switch_j(Mode::M3, Mode::M7) > t.mode_switch_j(Mode::M6, Mode::M7));
+        assert!(t.wakeup_j(Mode::M7) > t.wakeup_j(Mode::M3));
+    }
+
+    #[test]
+    fn wakeup_dominates_any_switch() {
+        // Charging from 0 V always moves more charge than any step
+        // within the active range.
+        let t = TransitionEnergy::default();
+        for &a in &ACTIVE_MODES {
+            for &b in &ACTIVE_MODES {
+                assert!(t.wakeup_j(b) >= t.mode_switch_j(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn breakeven_definition_round_trips() {
+        // With the implied capacitance, one wake-up costs about the
+        // leakage of T-Breakeven worth of on-time — the definition.
+        let costs = DsentCosts::paper();
+        let vf = VfTable::paper();
+        for m in ACTIVE_MODES {
+            let c = TransitionEnergy::new(TransitionEnergy::implied_capacitance_f(m));
+            let wake = c.wakeup_j(m);
+            let breakeven_leakage =
+                vf.timings(m).t_breakeven().as_secs() * costs.static_power_w(m);
+            assert!(
+                (wake / breakeven_leakage - 1.0).abs() < 1e-9,
+                "{m:?}: {wake:.3e} vs {breakeven_leakage:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_off_loss_is_half_the_stored_energy() {
+        let t = TransitionEnergy::default();
+        for m in ACTIVE_MODES {
+            assert!((t.gate_off_loss_j(m) - 0.5 * t.wakeup_j(m)).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_capacitance_rejected() {
+        TransitionEnergy::new(0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! XY dimension-order routing with one-hop look-ahead.
+//!
+//! The paper (§III-A) uses XY DOR to select output ports and exploits the
+//! fact that XY makes the downstream router of every packet knowable one
+//! hop in advance. DozzNoC uses that look-ahead both for route
+//! pre-computation and to *secure* downstream routers against power-gating
+//! (waking them if they are already off).
+
+use dozznoc_types::{CoreId, RouterId};
+
+use crate::direction::{Direction, Port};
+use crate::grid::Topology;
+
+/// Which dimension a DOR route corrects first. Both orders yield an
+/// acyclic channel-dependency graph on a mesh (no packet ever turns from
+/// the second dimension back into the first), so both are deadlock-free;
+/// they differ in which links congest under asymmetric traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DimOrder {
+    /// Correct x first (the paper's choice).
+    Xy,
+    /// Correct y first.
+    Yx,
+}
+
+/// Stateless dimension-order router for a grid topology.
+///
+/// The paper uses XY DOR; YX is provided for routing-sensitivity
+/// experiments. Look-ahead (knowing the next router one hop early) works
+/// identically for both, which is what DozzNoC's downstream securing
+/// needs.
+#[derive(Debug, Clone, Copy)]
+pub struct XyRouter {
+    topo: Topology,
+    order: DimOrder,
+}
+
+impl XyRouter {
+    /// Create an XY router function for `topo` (the paper's default).
+    pub fn new(topo: Topology) -> Self {
+        XyRouter { topo, order: DimOrder::Xy }
+    }
+
+    /// Create a router function with an explicit dimension order.
+    pub fn with_order(topo: Topology, order: DimOrder) -> Self {
+        XyRouter { topo, order }
+    }
+
+    /// The topology this router function operates on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The dimension order in force.
+    pub fn order(&self) -> DimOrder {
+        self.order
+    }
+
+    /// Output port at router `cur` for a packet destined to core `dst`.
+    pub fn output_port(&self, cur: RouterId, dst: CoreId) -> Port {
+        let dst_router = self.topo.router_of_core(dst);
+        if cur == dst_router {
+            return Port::Local(self.topo.local_slot(dst));
+        }
+        let cc = self.topo.coord(cur);
+        let dc = self.topo.coord(dst_router);
+        let x_move = if dc.x > cc.x {
+            Some(Direction::East)
+        } else if dc.x < cc.x {
+            Some(Direction::West)
+        } else {
+            None
+        };
+        let y_move = if dc.y > cc.y {
+            Some(Direction::South)
+        } else if dc.y < cc.y {
+            Some(Direction::North)
+        } else {
+            None
+        };
+        let dir = match self.order {
+            DimOrder::Xy => x_move.or(y_move),
+            DimOrder::Yx => y_move.or(x_move),
+        };
+        Port::Dir(dir.expect("cur != dst_router implies some offset"))
+    }
+
+    /// Look-ahead: the *next router* a packet at `cur` destined to core
+    /// `dst` will hop to, or `None` when `cur` is already the ejection
+    /// router. This is the router DozzNoC secures/wakes.
+    pub fn next_hop(&self, cur: RouterId, dst: CoreId) -> Option<RouterId> {
+        match self.output_port(cur, dst) {
+            Port::Local(_) => None,
+            Port::Dir(d) => {
+                let n = self.topo.neighbor(cur, d);
+                debug_assert!(n.is_some(), "XY routed off the edge of the mesh");
+                n
+            }
+        }
+    }
+
+    /// Full router path from core `src` to core `dst`, inclusive of both
+    /// endpoint routers.
+    pub fn path(&self, src: CoreId, dst: CoreId) -> RoutePath {
+        RoutePath {
+            router: self.topo.router_of_core(src),
+            dst,
+            xy: *self,
+            done: false,
+        }
+    }
+}
+
+/// Iterator over the routers an XY-routed packet visits (see
+/// [`XyRouter::path`]).
+#[derive(Debug, Clone)]
+pub struct RoutePath {
+    router: RouterId,
+    dst: CoreId,
+    xy: XyRouter,
+    done: bool,
+}
+
+impl Iterator for RoutePath {
+    type Item = RouterId;
+
+    fn next(&mut self) -> Option<RouterId> {
+        if self.done {
+            return None;
+        }
+        let cur = self.router;
+        match self.xy.next_hop(cur, self.dst) {
+            Some(n) => self.router = n,
+            None => self.done = true,
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dozznoc_types::CoreId;
+
+    fn all_pairs(topo: Topology) -> impl Iterator<Item = (CoreId, CoreId)> {
+        let n = topo.num_cores() as u16;
+        (0..n).flat_map(move |a| (0..n).map(move |b| (CoreId(a), CoreId(b))))
+    }
+
+    #[test]
+    fn path_length_is_manhattan_distance() {
+        for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
+            let xy = XyRouter::new(topo);
+            for (src, dst) in all_pairs(topo) {
+                let hops = xy.path(src, dst).count() as u32 - 1;
+                let expect =
+                    topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
+                assert_eq!(hops, expect, "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_ends_at_destination_router() {
+        for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
+            let xy = XyRouter::new(topo);
+            for (src, dst) in all_pairs(topo) {
+                let last = xy.path(src, dst).last().unwrap();
+                assert_eq!(last, topo.router_of_core(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let topo = Topology::mesh8x8();
+        let xy = XyRouter::new(topo);
+        // From (0,0) to (3,2): the first 3 hops must move east.
+        let src = CoreId(0); // router (0,0)
+        let dst = CoreId(2 * 8 + 3); // router (3,2)
+        let path: Vec<_> = xy.path(src, dst).collect();
+        for w in path.windows(2).take(3) {
+            let a = topo.coord(w[0]);
+            let b = topo.coord(w[1]);
+            assert_eq!(b.x, a.x + 1, "expected eastward move first");
+            assert_eq!(b.y, a.y);
+        }
+        // The remaining hops move south.
+        for w in path.windows(2).skip(3) {
+            let a = topo.coord(w[0]);
+            let b = topo.coord(w[1]);
+            assert_eq!(b.y, a.y + 1, "expected southward move after x fixed");
+            assert_eq!(b.x, a.x);
+        }
+    }
+
+    #[test]
+    fn local_delivery_uses_destination_slot() {
+        let topo = Topology::cmesh4x4();
+        let xy = XyRouter::new(topo);
+        for dst in topo.cores() {
+            let r = topo.router_of_core(dst);
+            match xy.output_port(r, dst) {
+                Port::Local(slot) => assert_eq!(slot, topo.local_slot(dst)),
+                p => panic!("expected local port, got {p:?}"),
+            }
+            assert_eq!(xy.next_hop(r, dst), None);
+        }
+    }
+
+    #[test]
+    fn next_hop_agrees_with_output_port() {
+        let topo = Topology::mesh8x8();
+        let xy = XyRouter::new(topo);
+        for (src, dst) in all_pairs(topo) {
+            let mut cur = topo.router_of_core(src);
+            // Walk the route; next_hop must always match the port direction.
+            while let Some(next) = xy.next_hop(cur, dst) {
+                match xy.output_port(cur, dst) {
+                    Port::Dir(d) => assert_eq!(topo.neighbor(cur, d), Some(next)),
+                    Port::Local(_) => panic!("local port but next_hop was Some"),
+                }
+                cur = next;
+            }
+            assert_eq!(cur, topo.router_of_core(dst));
+        }
+    }
+
+    /// XY routing is deadlock-free because its channel dependency graph is
+    /// acyclic: a packet never turns from a y-channel into an x-channel.
+    /// Verify that property over every route of the 8×8 mesh.
+    #[test]
+    fn no_y_to_x_turns() {
+        let topo = Topology::mesh8x8();
+        let xy = XyRouter::new(topo);
+        for (src, dst) in all_pairs(topo) {
+            let path: Vec<_> = xy.path(src, dst).collect();
+            let mut seen_y_move = false;
+            for w in path.windows(2) {
+                let a = topo.coord(w[0]);
+                let b = topo.coord(w[1]);
+                let is_x_move = a.y == b.y;
+                if is_x_move {
+                    assert!(!seen_y_move, "illegal y→x turn in XY routing");
+                } else {
+                    seen_y_move = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod yx_tests {
+    use super::*;
+    use dozznoc_types::CoreId;
+
+    #[test]
+    fn yx_corrects_y_before_x() {
+        let topo = Topology::mesh8x8();
+        let yx = XyRouter::with_order(topo, DimOrder::Yx);
+        // From (0,0) to (3,2): the first 2 hops must move south.
+        let path: Vec<_> = yx.path(CoreId(0), CoreId(2 * 8 + 3)).collect();
+        for w in path.windows(2).take(2) {
+            let a = topo.coord(w[0]);
+            let b = topo.coord(w[1]);
+            assert_eq!(b.y, a.y + 1, "expected southward move first");
+        }
+        for w in path.windows(2).skip(2) {
+            let a = topo.coord(w[0]);
+            let b = topo.coord(w[1]);
+            assert_eq!(b.x, a.x + 1, "expected eastward move after y fixed");
+        }
+    }
+
+    #[test]
+    fn yx_paths_are_minimal_and_reach_destination() {
+        let topo = Topology::cmesh4x4();
+        let yx = XyRouter::with_order(topo, DimOrder::Yx);
+        for s in 0..topo.num_cores() as u16 {
+            for d in 0..topo.num_cores() as u16 {
+                let (src, dst) = (CoreId(s), CoreId(d));
+                let hops = yx.path(src, dst).count() as u32 - 1;
+                let expect =
+                    topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
+                assert_eq!(hops, expect);
+                assert_eq!(yx.path(src, dst).last().unwrap(), topo.router_of_core(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn yx_never_turns_x_to_y() {
+        let topo = Topology::mesh8x8();
+        let yx = XyRouter::with_order(topo, DimOrder::Yx);
+        for s in 0..64u16 {
+            for d in 0..64u16 {
+                let path: Vec<_> = yx.path(CoreId(s), CoreId(d)).collect();
+                let mut seen_x = false;
+                for w in path.windows(2) {
+                    let a = topo.coord(w[0]);
+                    let b = topo.coord(w[1]);
+                    if a.x != b.x {
+                        seen_x = true;
+                    } else {
+                        assert!(!seen_x, "illegal x→y turn in YX routing");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orders_agree_on_same_row_or_column() {
+        let topo = Topology::mesh8x8();
+        let xy = XyRouter::new(topo);
+        let yx = XyRouter::with_order(topo, DimOrder::Yx);
+        // Same row: both move east/west identically.
+        assert_eq!(xy.output_port(RouterId(0), CoreId(5)), yx.output_port(RouterId(0), CoreId(5)));
+        // Same column: both move north/south identically.
+        assert_eq!(
+            xy.output_port(RouterId(0), CoreId(40)),
+            yx.output_port(RouterId(0), CoreId(40))
+        );
+        assert_eq!(xy.order(), DimOrder::Xy);
+        assert_eq!(yx.order(), DimOrder::Yx);
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic PARSEC/SPLASH-2-like workloads.
+//!
+//! Fourteen named benchmarks, each a deterministic seeded injection
+//! process whose statistics (duty cycle, burstiness, locality, hotspots,
+//! request/response mix, phase structure) are calibrated per benchmark.
+//! The DozzNoC results are functions of exactly these statistics, not of
+//! instruction-level program behaviour — see `DESIGN.md` §1.
+
+mod generator;
+mod profiles;
+
+pub use generator::TraceGenerator;
+pub use profiles::{Benchmark, Suite, WorkloadProfile, ALL_BENCHMARKS};

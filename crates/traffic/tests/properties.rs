@@ -1,0 +1,65 @@
+//! Property tests for trace generation and transforms.
+
+use proptest::prelude::*;
+
+use dozznoc_topology::Topology;
+use dozznoc_traffic::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(ALL_BENCHMARKS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every generated trace is well-formed for every benchmark/seed:
+    /// sorted, in-range, no self-addressing, deterministic.
+    #[test]
+    fn traces_well_formed(bench in arb_benchmark(), seed in 0u64..1000) {
+        let generator = TraceGenerator::new(Topology::mesh8x8())
+            .with_duration_ns(3_000)
+            .with_seed(seed);
+        let t = generator.generate(bench);
+        prop_assert!(!t.is_empty());
+        let mut last = 0;
+        for p in t.packets() {
+            prop_assert!(p.src.idx() < 64);
+            prop_assert!(p.dst.idx() < 64);
+            prop_assert_ne!(p.src, p.dst);
+            prop_assert!(p.inject_time.ticks() >= last);
+            last = p.inject_time.ticks();
+        }
+        prop_assert_eq!(t, generator.generate(bench));
+    }
+
+    /// Rescaling preserves packet count and order and scales the
+    /// horizon by the ratio (up to integer truncation).
+    #[test]
+    fn rescale_scales_horizon(bench in arb_benchmark(), num in 1u64..4, den in 1u64..4) {
+        let t = TraceGenerator::new(Topology::mesh8x8())
+            .with_duration_ns(3_000)
+            .generate(bench);
+        let r = t.rescale(num, den);
+        prop_assert_eq!(r.len(), t.len());
+        let expect = t.horizon().ticks() * num / den;
+        prop_assert!(r.horizon().ticks().abs_diff(expect) <= den);
+        // Load changes by den/num.
+        let ratio = r.stats().flits_per_ns / t.stats().flits_per_ns;
+        let expect_ratio = den as f64 / num as f64;
+        prop_assert!((ratio / expect_ratio - 1.0).abs() < 0.05, "{ratio} vs {expect_ratio}");
+    }
+
+    /// Request/response bookkeeping: responses never exceed requests and
+    /// both kinds appear in every benchmark's trace.
+    #[test]
+    fn kind_mix(bench in arb_benchmark()) {
+        let t = TraceGenerator::new(Topology::mesh8x8())
+            .with_duration_ns(5_000)
+            .generate(bench);
+        let s = t.stats();
+        prop_assert!(s.requests > 0);
+        prop_assert!(s.responses > 0);
+        prop_assert!(s.responses <= s.requests);
+        prop_assert_eq!(s.packets, s.requests + s.responses);
+    }
+}

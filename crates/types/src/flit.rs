@@ -1,0 +1,194 @@
+//! Packets and flits.
+//!
+//! The trace format of the paper records `(source, destination, type,
+//! injection time)` per packet. Inside the network, packets are serialized
+//! into 128-bit flits (the paper's DSENT configuration): single-flit
+//! requests and multi-flit (cache-line-sized) responses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::CoreId;
+use crate::time::SimTime;
+
+/// Unique identifier of a packet within one simulation run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct PacketId(pub u64);
+
+/// Request/response class of a packet, as recorded in trace files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A coherence/memory request: a single control flit.
+    Request,
+    /// A data response carrying a cache line: multiple flits.
+    Response,
+}
+
+impl PacketKind {
+    /// Number of 128-bit flits a packet of this kind occupies.
+    /// Requests are one control flit; responses carry a 64 B cache line
+    /// (4 × 128-bit payload) behind a head flit.
+    #[inline]
+    pub const fn flit_count(self) -> u16 {
+        match self {
+            PacketKind::Request => 1,
+            PacketKind::Response => 5,
+        }
+    }
+}
+
+/// A packet as injected by a core (one trace record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id within the run.
+    pub id: PacketId,
+    /// Injecting core.
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Request or response.
+    pub kind: PacketKind,
+    /// Absolute time the core presents the packet to its router.
+    pub inject_time: SimTime,
+}
+
+impl Packet {
+    /// Number of flits this packet serializes into.
+    #[inline]
+    pub fn flit_count(&self) -> u16 {
+        self.kind.flit_count()
+    }
+
+    /// Serialize the packet into its flits, in wire order.
+    pub fn flits(&self) -> impl Iterator<Item = Flit> + '_ {
+        let n = self.flit_count();
+        let pkt = *self;
+        (0..n).map(move |seq| Flit {
+            packet: pkt.id,
+            src: pkt.src,
+            dst: pkt.dst,
+            kind: FlitKind::for_position(seq, n),
+            seq,
+            inject_time: pkt.inject_time,
+        })
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries the route.
+    Head,
+    /// Interior payload flit.
+    Body,
+    /// Last flit; releases resources (VC, secure marks) as it drains.
+    Tail,
+    /// Single-flit packet: head and tail at once.
+    Single,
+}
+
+impl FlitKind {
+    /// Kind for the flit at position `seq` of an `n`-flit packet.
+    #[inline]
+    pub const fn for_position(seq: u16, n: u16) -> FlitKind {
+        if n == 1 {
+            FlitKind::Single
+        } else if seq == 0 {
+            FlitKind::Head
+        } else if seq + 1 == n {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
+    }
+
+    /// True for flits that carry routing information (head or single).
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::Single)
+    }
+
+    /// True for flits that end a packet (tail or single).
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::Single)
+    }
+}
+
+/// A 128-bit flit in flight. Carries enough routing metadata to be
+/// self-describing so that routers never need a side lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Source core (for statistics).
+    pub src: CoreId,
+    /// Destination core (drives routing).
+    pub dst: CoreId,
+    /// Position class within the packet.
+    pub kind: FlitKind,
+    /// Position index within the packet (0-based).
+    pub seq: u16,
+    /// Injection time of the owning packet (for latency accounting).
+    pub inject_time: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(kind: PacketKind) -> Packet {
+        Packet {
+            id: PacketId(1),
+            src: CoreId(0),
+            dst: CoreId(5),
+            kind,
+            inject_time: SimTime::from_ticks(100),
+        }
+    }
+
+    #[test]
+    fn request_is_single_flit() {
+        let p = pkt(PacketKind::Request);
+        let flits: Vec<_> = p.flits().collect();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::Single);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn response_serializes_head_body_tail() {
+        let p = pkt(PacketKind::Response);
+        let flits: Vec<_> = p.flits().collect();
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Body);
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        // Exactly one head-class and one tail-class flit.
+        assert_eq!(flits.iter().filter(|f| f.kind.is_head()).count(), 1);
+        assert_eq!(flits.iter().filter(|f| f.kind.is_tail()).count(), 1);
+    }
+
+    #[test]
+    fn flits_inherit_packet_metadata() {
+        let p = pkt(PacketKind::Response);
+        for (i, f) in p.flits().enumerate() {
+            assert_eq!(f.packet, p.id);
+            assert_eq!(f.src, p.src);
+            assert_eq!(f.dst, p.dst);
+            assert_eq!(f.seq as usize, i);
+            assert_eq!(f.inject_time, p.inject_time);
+        }
+    }
+
+    #[test]
+    fn two_flit_packet_has_no_body() {
+        assert_eq!(FlitKind::for_position(0, 2), FlitKind::Head);
+        assert_eq!(FlitKind::for_position(1, 2), FlitKind::Tail);
+    }
+}

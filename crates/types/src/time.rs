@@ -1,0 +1,240 @@
+//! Simulation time base.
+//!
+//! One tick is 1/18 ns ≈ 55.56 ps (a virtual 18 GHz base clock). Every
+//! DozzNoC operating frequency divides the base clock evenly, which lets the
+//! simulator model heterogeneous per-router clock domains exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Frequency of the virtual base clock in GHz. All V/F modes divide it.
+pub const BASE_CLOCK_GHZ: u64 = 18;
+
+/// Number of base ticks per nanosecond (identical to [`BASE_CLOCK_GHZ`]).
+pub const TICKS_PER_NS: u64 = BASE_CLOCK_GHZ;
+
+/// An absolute point in simulated time, measured in base ticks.
+///
+/// `SimTime` is a transparent `u64` newtype: arithmetic that could make
+/// sense on absolute times (difference, offsetting by a delta) is provided
+/// explicitly; accidental addition of two absolute times does not compile.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in base ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TickDelta(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Construct from nanoseconds, rounding *up* so that delays derived
+    /// from measured regulator latencies are never optimistic.
+    #[inline]
+    pub fn from_ns_ceil(ns: f64) -> Self {
+        SimTime((ns * TICKS_PER_NS as f64).ceil() as u64)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / TICKS_PER_NS as f64
+    }
+
+    /// Time in seconds (used by the energy ledger: J = W × s).
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() * 1e-9
+    }
+
+    /// Absolute difference between two times.
+    #[inline]
+    pub fn delta(self, other: SimTime) -> TickDelta {
+        TickDelta(self.0.abs_diff(other.0))
+    }
+
+    /// Elapsed time since `earlier`. Panics in debug builds if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> TickDelta {
+        debug_assert!(earlier.0 <= self.0, "since() called with a future time");
+        TickDelta(self.0 - earlier.0)
+    }
+
+    /// This time advanced by `delta`.
+    #[inline]
+    pub fn after(self, delta: TickDelta) -> SimTime {
+        SimTime(self.0 + delta.0)
+    }
+}
+
+impl TickDelta {
+    /// The empty span.
+    pub const ZERO: TickDelta = TickDelta(0);
+
+    /// Construct from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        TickDelta(ticks)
+    }
+
+    /// Construct from nanoseconds, rounding up (pessimistic for delays).
+    #[inline]
+    pub fn from_ns_ceil(ns: f64) -> Self {
+        TickDelta((ns * TICKS_PER_NS as f64).ceil() as u64)
+    }
+
+    /// Span expressed as local cycles of a clock with the given tick
+    /// divisor, rounding up.
+    #[inline]
+    pub fn as_cycles_ceil(self, divisor: u64) -> u64 {
+        self.0.div_ceil(divisor)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Span in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / TICKS_PER_NS as f64
+    }
+
+    /// Span in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() * 1e-9
+    }
+
+    /// Saturating subtraction of two spans.
+    #[inline]
+    pub fn saturating_sub(self, other: TickDelta) -> TickDelta {
+        TickDelta(self.0.saturating_sub(other.0))
+    }
+}
+
+impl core::ops::Add<TickDelta> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: TickDelta) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Add for TickDelta {
+    type Output = TickDelta;
+    #[inline]
+    fn add(self, rhs: TickDelta) -> TickDelta {
+        TickDelta(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for TickDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TickDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for TickDelta {
+    type Output = TickDelta;
+    #[inline]
+    fn mul(self, rhs: u64) -> TickDelta {
+        TickDelta(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns())
+    }
+}
+
+impl core::fmt::Display for TickDelta {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_ns_round_trip() {
+        let t = SimTime::from_ticks(18);
+        assert!((t.as_ns() - 1.0).abs() < 1e-12);
+        assert_eq!(SimTime::from_ns_ceil(1.0), SimTime::from_ticks(18));
+    }
+
+    #[test]
+    fn from_ns_rounds_up() {
+        // 8.8 ns (worst-case T-Wakeup) must not be truncated down.
+        let t = TickDelta::from_ns_ceil(8.8);
+        assert_eq!(t.ticks(), 159); // 8.8 * 18 = 158.4 → 159
+        assert!(t.as_ns() >= 8.8);
+    }
+
+    #[test]
+    fn delta_is_symmetric() {
+        let a = SimTime::from_ticks(10);
+        let b = SimTime::from_ticks(25);
+        assert_eq!(a.delta(b), b.delta(a));
+        assert_eq!(a.delta(b).ticks(), 15);
+    }
+
+    #[test]
+    fn since_and_after_are_inverses() {
+        let a = SimTime::from_ticks(100);
+        let d = TickDelta::from_ticks(42);
+        assert_eq!(a.after(d).since(a), d);
+    }
+
+    #[test]
+    fn cycles_ceil() {
+        // 159 ticks at divisor 18 (1 GHz) = 9 local cycles, rounded up.
+        assert_eq!(TickDelta::from_ticks(159).as_cycles_ceil(18), 9);
+        assert_eq!(TickDelta::from_ticks(160).as_cycles_ceil(8), 20);
+        assert_eq!(TickDelta::ZERO.as_cycles_ceil(18), 0);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let one_ms = SimTime::from_ticks(TICKS_PER_NS * 1_000_000);
+        assert!((one_ms.as_secs() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let mut d = TickDelta::from_ticks(5);
+        d += TickDelta::from_ticks(3);
+        assert_eq!(d.ticks(), 8);
+        assert_eq!((d * 2).ticks(), 16);
+        assert_eq!(d.saturating_sub(TickDelta::from_ticks(100)), TickDelta::ZERO);
+        assert_eq!(
+            (SimTime::from_ticks(1) + TickDelta::from_ticks(2)).ticks(),
+            3
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Full evaluation campaign: all five models over the held-out test
+//! benchmarks, mesh and cmesh, with §IV-B-style summaries.
+//!
+//! ```text
+//! cargo run --release --example campaign [duration_ns]
+//! ```
+
+use dozznoc::core::experiment::summarize;
+use dozznoc::prelude::*;
+
+fn main() {
+    let duration_ns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+
+    for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
+        println!("\n================ {} ================", topo.kind());
+        let trainer = Trainer::new(topo).with_duration_ns(duration_ns);
+        println!("training…");
+        let suite = ModelSuite::train(&trainer, FeatureSet::Reduced5);
+
+        let campaign = Campaign::new(topo).with_duration_ns(duration_ns);
+        println!("running 5 models × {} benchmarks…", TEST_BENCHMARKS.len());
+        let results = campaign.run(&TEST_BENCHMARKS, &suite);
+
+        // Per-benchmark detail.
+        println!(
+            "\n{:<14} {:<22} {:>10} {:>10} {:>9} {:>9}",
+            "benchmark", "model", "tput f/ns", "net-lat ns", "static", "dynamic"
+        );
+        for r in &results {
+            let base = results
+                .iter()
+                .find(|b| b.model == ModelKind::Baseline && b.benchmark == r.benchmark)
+                .expect("baseline row");
+            println!(
+                "{:<14} {:<22} {:>10.2} {:>10.1} {:>9.3} {:>9.3}",
+                r.benchmark,
+                r.model.label(),
+                r.report.stats.throughput_flits_per_ns(),
+                r.report.stats.avg_net_latency_ns(),
+                r.report.static_energy_vs(&base.report),
+                r.report.dynamic_energy_vs(&base.report),
+            );
+        }
+
+        // §IV-B summary.
+        println!("\nsummary (mean over benchmarks, vs. baseline):");
+        for s in summarize(&results) {
+            println!(
+                "  {:<22} static-save {:>5.1}%  dyn-save {:>5.1}%  tput-loss {:>5.1}%  net-lat +{:>5.1}%",
+                s.model.label(),
+                s.static_savings_pct(),
+                s.dynamic_savings_pct(),
+                s.throughput_loss_pct(),
+                s.latency_increase_pct()
+            );
+        }
+    }
+}

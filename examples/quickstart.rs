@@ -1,0 +1,83 @@
+//! Quickstart: train the DozzNoC models, run one benchmark, print the
+//! savings against the always-on baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dozznoc::prelude::*;
+
+fn main() {
+    // Keep the example snappy: 10 µs traces instead of the full 50 µs.
+    let duration_ns = 10_000;
+    let topo = Topology::mesh8x8();
+
+    println!("training ridge models on the 6 training + 3 validation traces…");
+    let trainer = Trainer::new(topo).with_duration_ns(duration_ns);
+    let suite = ModelSuite::train(&trainer, FeatureSet::Reduced5);
+    println!(
+        "  DOZZNOC weights (Table IV order): {:?}",
+        suite
+            .dozznoc
+            .weights
+            .iter()
+            .map(|w| (w * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!("  chosen λ = {}, validation MSE = {:.5}", suite.dozznoc.lambda, suite.dozznoc.validation_mse);
+
+    // Run a held-out test benchmark under both the baseline and DozzNoC.
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(duration_ns)
+        .generate(Benchmark::Fft);
+    println!(
+        "\ninjecting `{}`: {} packets over {:.1} µs",
+        trace.name,
+        trace.len(),
+        trace.horizon().as_ns() / 1000.0
+    );
+
+    let cfg = NocConfig::paper(topo);
+    let baseline = run_model(cfg, &trace, ModelKind::Baseline, &suite);
+    let dozznoc = run_model(cfg, &trace, ModelKind::DozzNoc, &suite);
+
+    println!("\n{:<28}{:>14}{:>14}", "", "baseline", "DOZZNOC");
+    let rows: [(&str, f64, f64); 5] = [
+        (
+            "throughput (flits/ns)",
+            baseline.stats.throughput_flits_per_ns(),
+            dozznoc.stats.throughput_flits_per_ns(),
+        ),
+        (
+            "network latency (ns)",
+            baseline.stats.avg_net_latency_ns(),
+            dozznoc.stats.avg_net_latency_ns(),
+        ),
+        ("static energy (µJ)", baseline.energy.static_j * 1e6, dozznoc.energy.static_j * 1e6),
+        (
+            "dynamic energy (µJ)",
+            baseline.energy.dynamic_with_ml_j() * 1e6,
+            dozznoc.energy.dynamic_with_ml_j() * 1e6,
+        ),
+        ("time gated (%)", 0.0, dozznoc.energy.off_fraction() * 100.0),
+    ];
+    for (name, b, d) in rows {
+        println!("{name:<28}{b:>14.3}{d:>14.3}");
+    }
+
+    println!(
+        "\nDOZZNOC saves {:.1}% static and {:.1}% dynamic energy for a {:.1}% throughput loss",
+        (1.0 - dozznoc.static_energy_vs(&baseline)) * 100.0,
+        (1.0 - dozznoc.dynamic_energy_vs(&baseline)) * 100.0,
+        (1.0 - dozznoc.throughput_vs(&baseline)) * 100.0,
+    );
+    let dist = dozznoc.stats.mode_distribution();
+    println!(
+        "mode residency: M3 {:.0}%  M4 {:.0}%  M5 {:.0}%  M6 {:.0}%  M7 {:.0}%",
+        dist[0] * 100.0,
+        dist[1] * 100.0,
+        dist[2] * 100.0,
+        dist[3] * 100.0,
+        dist[4] * 100.0
+    );
+}

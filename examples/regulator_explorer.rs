@@ -1,0 +1,87 @@
+//! Explore the SIMO/LDO voltage-regulator substrate: rail assignment,
+//! dropout envelope, switching latencies, transient waveforms and the
+//! efficiency advantage over a conventional switching array (paper
+//! §III-C, Tables I–II, Figs. 5–6).
+//!
+//! ```text
+//! cargo run --release --example regulator_explorer
+//! ```
+
+use dozznoc::power::regulator::delay::RegState;
+use dozznoc::power::regulator::waveform::{fig5a_wakeup, Transient};
+use dozznoc::power::{baseline_efficiency, simo_efficiency};
+use dozznoc::prelude::*;
+use dozznoc::types::ACTIVE_MODES;
+
+fn main() {
+    let simo = SimoRegulator::default();
+
+    println!("── rail assignment and dropout (Table I) ──");
+    for m in ACTIVE_MODES {
+        let ldo = simo.ldo_for(m.voltage());
+        println!(
+            "  {m}: rail {:.1} V, dropout {:>4.0} mV, end-to-end efficiency {:.1}%",
+            ldo.vin,
+            ldo.dropout() * 1e3,
+            simo.efficiency_at(m) * 100.0
+        );
+    }
+
+    println!("\n── switching latencies (Table II) ──");
+    let delays = SwitchDelayTable::paper();
+    for (from, to) in [
+        (RegState::Gated, RegState::At(Mode::M3)),
+        (RegState::At(Mode::M3), RegState::At(Mode::M7)),
+        (RegState::At(Mode::M7), RegState::At(Mode::M6)),
+    ] {
+        let lat = delays.latency(from, to);
+        println!(
+            "  {from} → {to}: {:.1} ns = {} base ticks = {} cycles at the target clock",
+            delays.latency_ns(from, to),
+            lat.ticks(),
+            match to {
+                RegState::At(m) => lat.as_cycles_ceil(m.divisor()),
+                RegState::Gated => 0,
+            }
+        );
+    }
+
+    println!("\n── wake-up transient, ASCII-rendered (Fig. 5a) ──");
+    render_waveform(&fig5a_wakeup(), 12.0);
+
+    println!("\n── a custom transient: 1.2 V → 0.9 V in 6.3 ns ──");
+    render_waveform(&Transient::with_settling_time(1.2, 0.9, 6.3), 10.0);
+
+    println!("\n── efficiency vs. the conventional array (Fig. 6) ──");
+    println!("  {:>6} {:>8} {:>10}", "Vout", "SIMO", "baseline");
+    for mv in (800..=1200).step_by(50) {
+        let v = mv as f64 / 1000.0;
+        println!(
+            "  {v:>5.2}V {:>7.1}% {:>9.1}%",
+            simo_efficiency(v) * 100.0,
+            baseline_efficiency(v) * 100.0
+        );
+    }
+}
+
+/// Tiny ASCII plot of a transient over `span_ns`.
+fn render_waveform(t: &Transient, span_ns: f64) {
+    let cols = 64;
+    let v_hi = t.v_from.max(t.v_to) * 1.1 + 0.01;
+    for row in (0..=8).rev() {
+        let level = v_hi * row as f64 / 8.0;
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let time = span_ns * c as f64 / cols as f64;
+            let v = t.sample(time);
+            line.push(if (v - level).abs() < v_hi / 16.0 { '*' } else { ' ' });
+        }
+        println!("  {level:>5.2}V |{line}");
+    }
+    println!(
+        "          +{} settles in {:.2} ns, overshoot {:.0} mV",
+        "-".repeat(cols),
+        t.settling_time_ns(),
+        t.overshoot_v() * 1e3
+    );
+}

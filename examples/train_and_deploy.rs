@@ -1,0 +1,69 @@
+//! The offline ML workflow end to end: collect reactive training data,
+//! fit ridge with a λ sweep, export the weights as JSON, reload them and
+//! deploy the proactive model — exactly the paper's MATLAB → simulator
+//! round trip (§III-D, §IV-A).
+//!
+//! ```text
+//! cargo run --release --example train_and_deploy
+//! ```
+
+use dozznoc::core::training::ReactiveKind;
+use dozznoc::prelude::*;
+
+fn main() {
+    let duration_ns = 8_000;
+    let topo = Topology::mesh8x8();
+    let trainer = Trainer::new(topo).with_duration_ns(duration_ns);
+
+    // ── 1. Collect (features, future-IBU) examples with the reactive
+    //       variant of DOZZNOC, per split.
+    println!("collecting reactive training data…");
+    let train41 = trainer.collect(ReactiveKind::Gated, &TRAIN_BENCHMARKS);
+    let val41 = trainer.collect(ReactiveKind::Gated, &VALIDATION_BENCHMARKS);
+    println!("  {} train / {} validation examples of 41 features", train41.len(), val41.len());
+
+    // ── 2. Fit ridge on the Reduced-5 projection, λ tuned on validation.
+    let model = trainer.train_from_datasets(&train41, &val41, FeatureSet::Reduced5);
+    println!("\ntrained model:");
+    println!("  λ = {}, validation MSE = {:.6}", model.lambda, model.validation_mse);
+    for (id, w) in FeatureSet::Reduced5.ids().iter().zip(&model.weights) {
+        println!("  {:<28} {w:+.4}", id.name());
+    }
+
+    // ── 3. Export to JSON (what the paper ships from MATLAB to the
+    //       network simulator) and reload it.
+    let json = model.to_json();
+    println!("\nexported {} bytes of JSON weights", json.len());
+    let reloaded = TrainedModel::from_json(&json).expect("round trip");
+    assert_eq!(reloaded, model);
+
+    // ── 4. Deploy: proactive mode selection on a held-out test trace,
+    //       compared against the reactive variant it was trained from.
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(duration_ns)
+        .generate(Benchmark::Radix);
+    let cfg = NocConfig::paper(topo);
+
+    let mut reactive = Reactive::dozznoc();
+    let reactive_report =
+        Network::new(cfg).run(&trace, &mut reactive).expect("reactive run");
+    let mut proactive = Proactive::dozznoc(reloaded);
+    let proactive_report =
+        Network::new(cfg).run(&trace, &mut proactive).expect("proactive run");
+
+    println!("\non held-out `{}`:", trace.name);
+    for (name, r) in [("reactive", &reactive_report), ("proactive", &proactive_report)] {
+        println!(
+            "  {:<10} static {:.2} µJ  dynamic {:.2} µJ  net-lat {:.1} ns  off {:.1}%",
+            name,
+            r.energy.static_j * 1e6,
+            r.energy.dynamic_with_ml_j() * 1e6,
+            r.stats.avg_net_latency_ns(),
+            r.energy.off_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nproactive selection avoids the one-epoch staleness of reactive \
+         thresholds — the paper's motivation for ML-based DVFS."
+    );
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration: the full train → export → deploy → evaluate
+//! pipeline across all workspace crates, on short traces.
+
+use dozznoc::core::experiment::summarize;
+use dozznoc::prelude::*;
+
+const DUR_NS: u64 = 3_000;
+
+fn suite(topo: Topology) -> ModelSuite {
+    ModelSuite::train(&Trainer::new(topo).with_duration_ns(DUR_NS), FeatureSet::Reduced5)
+}
+
+#[test]
+fn every_model_delivers_every_packet() {
+    let topo = Topology::mesh8x8();
+    let suite = suite(topo);
+    let trace = TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Fft);
+    let expected = trace.len() as u64;
+    for kind in dozznoc::core::model::ALL_MODELS {
+        let r = run_model(NocConfig::paper(topo), &trace, kind, &suite);
+        assert_eq!(
+            r.stats.packets_delivered, expected,
+            "{kind} lost packets ({} of {expected})",
+            r.stats.packets_delivered
+        );
+        assert_eq!(r.stats.packets_injected, expected);
+    }
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let topo = Topology::mesh8x8();
+    let s = suite(topo);
+    let campaign = Campaign::new(topo).with_duration_ns(DUR_NS);
+    let a = campaign.run(&[Benchmark::Lu], &s);
+    let b = campaign.run(&[Benchmark::Lu], &s);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.benchmark, y.benchmark);
+        assert_eq!(x.model, y.model);
+        assert_eq!(x.report.stats, y.report.stats);
+        assert_eq!(x.report.finished_at, y.report.finished_at);
+    }
+}
+
+#[test]
+fn savings_ordering_matches_the_paper() {
+    let topo = Topology::mesh8x8();
+    let s = suite(topo);
+    let results = Campaign::new(topo)
+        .with_duration_ns(DUR_NS)
+        .run(&[Benchmark::X264, Benchmark::Radix], &s);
+    let summaries = summarize(&results);
+    let get = |m: ModelKind| summaries.iter().find(|x| x.model == m).copied().unwrap();
+
+    // Baseline is the reference point.
+    let base = get(ModelKind::Baseline);
+    assert!((base.static_ratio - 1.0).abs() < 1e-9);
+    assert!((base.dynamic_ratio - 1.0).abs() < 1e-9);
+
+    // PG saves static but not dynamic energy.
+    let pg = get(ModelKind::PowerGated);
+    assert!(pg.static_ratio < 0.95, "PG static ratio {}", pg.static_ratio);
+    assert!(
+        (pg.dynamic_ratio - 1.0).abs() < 0.02,
+        "PG must not change dynamic energy materially: {}",
+        pg.dynamic_ratio
+    );
+
+    // DVFS models save dynamic energy.
+    let lead = get(ModelKind::LeadDvfs);
+    let dozz = get(ModelKind::DozzNoc);
+    assert!(lead.dynamic_ratio < 0.9, "LEAD dynamic {}", lead.dynamic_ratio);
+    assert!(dozz.dynamic_ratio < 0.9, "DozzNoC dynamic {}", dozz.dynamic_ratio);
+
+    // DozzNoC (PG+DVFS) saves more static energy than DVFS alone — the
+    // paper's core claim.
+    assert!(
+        dozz.static_ratio < lead.static_ratio,
+        "DozzNoC {} vs LEAD {}",
+        dozz.static_ratio,
+        lead.static_ratio
+    );
+
+    // Turbo trades some dynamic savings relative to DozzNoC.
+    let turbo = get(ModelKind::MlTurbo);
+    assert!(
+        turbo.dynamic_ratio >= dozz.dynamic_ratio - 0.01,
+        "turbo {} vs dozznoc {}",
+        turbo.dynamic_ratio,
+        dozz.dynamic_ratio
+    );
+}
+
+#[test]
+fn trained_weights_round_trip_through_json() {
+    let topo = Topology::mesh8x8();
+    let s = suite(topo);
+    let json = s.dozznoc.to_json();
+    let reloaded = TrainedModel::from_json(&json).expect("round trip");
+    assert_eq!(reloaded, s.dozznoc);
+    // The reloaded model drives a run identically.
+    let trace =
+        TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Barnes);
+    let cfg = NocConfig::paper(topo);
+    let mut a = Proactive::dozznoc(s.dozznoc.clone());
+    let mut b = Proactive::dozznoc(reloaded);
+    let ra = Network::new(cfg).run(&trace, &mut a).unwrap();
+    let rb = Network::new(cfg).run(&trace, &mut b).unwrap();
+    assert_eq!(ra.stats, rb.stats);
+}
+
+#[test]
+fn cmesh_pipeline_works_end_to_end() {
+    let topo = Topology::cmesh4x4();
+    let s = suite(topo);
+    let trace = TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Lu);
+    let base = run_model(NocConfig::paper(topo), &trace, ModelKind::Baseline, &s);
+    let dozz = run_model(NocConfig::paper(topo), &trace, ModelKind::DozzNoc, &s);
+    assert_eq!(base.stats.packets_delivered, dozz.stats.packets_delivered);
+    assert!(dozz.energy.static_j < base.energy.static_j);
+}
+
+#[test]
+fn compressed_traces_shrink_gating_headroom() {
+    // Fig. 8(b) vs (c): higher load leaves less room to gate off.
+    let topo = Topology::mesh8x8();
+    let s = suite(topo);
+    let uncompressed = Campaign::new(topo)
+        .with_duration_ns(DUR_NS)
+        .with_models(&[ModelKind::PowerGated])
+        .run(&[Benchmark::Swaptions], &s);
+    let compressed = Campaign::new(topo)
+        .with_duration_ns(DUR_NS)
+        .with_load_scale(1, 2)
+        .with_models(&[ModelKind::PowerGated])
+        .run(&[Benchmark::Swaptions], &s);
+    let off_u = uncompressed[0].report.energy.off_fraction();
+    let off_c = compressed[0].report.energy.off_fraction();
+    assert!(
+        off_c <= off_u + 0.05,
+        "compressed off-fraction {off_c} should not exceed uncompressed {off_u}"
+    );
+}
