@@ -70,7 +70,9 @@ fn predict_label(c: &mut Criterion) {
         0.0,
     );
     let x = [1.0, 0.02, 0.03, 0.4, 0.12];
-    c.bench_function("ml/predict_label", |b| b.iter(|| black_box(model.predict(&x))));
+    c.bench_function("ml/predict_label", |b| {
+        b.iter(|| black_box(model.predict(&x)))
+    });
 }
 
 /// Dataset projection (Full-41 → Reduced-5), used by every study.
@@ -78,7 +80,11 @@ fn dataset_project(c: &mut Criterion) {
     let ds = synthetic_dataset(4_000, 41);
     let cols = FeatureSet::Reduced5.columns_in_full41();
     c.bench_function("ml/dataset_project", |b| {
-        b.iter_batched(|| ds.clone(), |d| black_box(d.project(&cols)), BatchSize::LargeInput)
+        b.iter_batched(
+            || ds.clone(),
+            |d| black_box(d.project(&cols)),
+            BatchSize::LargeInput,
+        )
     });
 }
 

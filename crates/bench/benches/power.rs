@@ -14,8 +14,7 @@ fn table5_costs(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for m in ACTIVE_MODES {
-                acc += costs.static_power_w(black_box(m))
-                    + costs.dynamic_j_per_hop(black_box(m));
+                acc += costs.static_power_w(black_box(m)) + costs.dynamic_j_per_hop(black_box(m));
             }
             black_box(acc)
         })
@@ -59,8 +58,16 @@ fn ledger_report(c: &mut Criterion) {
         }
         ledger.bill_label(RouterId(i), &MlOverhead::for_features(5));
     }
-    c.bench_function("power/ledger_report", |b| b.iter(|| black_box(ledger.report())));
+    c.bench_function("power/ledger_report", |b| {
+        b.iter(|| black_box(ledger.report()))
+    });
 }
 
-criterion_group!(benches, table5_costs, ledger_bill_hop, ledger_bill_residency, ledger_report);
+criterion_group!(
+    benches,
+    table5_costs,
+    ledger_bill_hop,
+    ledger_bill_residency,
+    ledger_report
+);
 criterion_main!(benches);

@@ -72,7 +72,9 @@ fn epoch_sweep(c: &mut Criterion) {
     for epoch in [100u64, 500] {
         g.bench_function(format!("epoch_sweep/{epoch}"), |b| {
             b.iter(|| {
-                let cfg = bench_config().with_epoch_cycles(epoch);
+                let cfg = bench_config()
+                    .try_with_epoch_cycles(epoch)
+                    .expect("bench epochs are valid");
                 let report = run_model(cfg, &trace, ModelKind::DozzNoc, &suite);
                 black_box(report.stats.epochs)
             })

@@ -1,0 +1,69 @@
+//! Telemetry overhead: the fig8 kernel (all five models, one trace)
+//! with telemetry disabled (`NullSink`) against the plain `run_model`
+//! path, plus the cost of actually recording with a `TimelineSink`.
+//!
+//! The acceptance bar is that the NullSink path stays within 2% of the
+//! plain path: a disabled sink short-circuits every hook behind one
+//! boolean, so the two must be statistically indistinguishable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dozznoc_bench::{bench_config, bench_suite, bench_trace};
+use dozznoc_core::{run_model, run_model_with_telemetry, ModelKind};
+use dozznoc_noc::{NullSink, TimelineSink};
+
+fn all_models(c: &mut Criterion, name: &str, mut run: impl FnMut(ModelKind) -> u64) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for kind in dozznoc_core::model::ALL_MODELS {
+                total += run(kind);
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Reference: the plain path with no telemetry parameter at all.
+fn fig8_plain(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    all_models(c, "fig8_plain", |kind| {
+        run_model(bench_config(), &trace, kind, &suite)
+            .stats
+            .flits_delivered
+    });
+}
+
+/// Disabled telemetry: must stay within 2% of `fig8_plain`.
+fn fig8_null_sink(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    all_models(c, "fig8_null_sink", |kind| {
+        let mut sink = NullSink;
+        run_model_with_telemetry(bench_config(), &trace, kind, &suite, &mut sink)
+            .stats
+            .flits_delivered
+    });
+}
+
+/// Enabled telemetry: what full per-epoch capture costs.
+fn fig8_timeline_sink(c: &mut Criterion) {
+    let trace = bench_trace();
+    let suite = bench_suite();
+    all_models(c, "fig8_timeline_sink", |kind| {
+        let mut sink = TimelineSink::new();
+        let flits = run_model_with_telemetry(bench_config(), &trace, kind, &suite, &mut sink)
+            .stats
+            .flits_delivered;
+        black_box(sink.epochs.len());
+        flits
+    });
+}
+
+criterion_group!(benches, fig8_plain, fig8_null_sink, fig8_timeline_sink);
+criterion_main!(benches);

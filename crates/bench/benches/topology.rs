@@ -26,11 +26,7 @@ fn xy_next_hop(c: &mut Criterion) {
 fn xy_full_path(c: &mut Criterion) {
     let xy = XyRouter::new(Topology::mesh8x8());
     c.bench_function("topology/xy_full_path", |b| {
-        b.iter(|| {
-            black_box(
-                xy.path(black_box(CoreId(0)), black_box(CoreId(63))).count(),
-            )
-        })
+        b.iter(|| black_box(xy.path(black_box(CoreId(0)), black_box(CoreId(63))).count()))
     });
 }
 
@@ -50,5 +46,11 @@ fn all_pairs_distance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, xy_output_port, xy_next_hop, xy_full_path, all_pairs_distance);
+criterion_group!(
+    benches,
+    xy_output_port,
+    xy_next_hop,
+    xy_full_path,
+    all_pairs_distance
+);
 criterion_main!(benches);

@@ -38,7 +38,9 @@ fn trace_stats(c: &mut Criterion) {
     let trace = TraceGenerator::new(Topology::mesh8x8())
         .with_duration_ns(4_000)
         .generate(Benchmark::Canneal);
-    c.bench_function("traffic/trace_stats", |b| b.iter(|| black_box(trace.stats())));
+    c.bench_function("traffic/trace_stats", |b| {
+        b.iter(|| black_box(trace.stats()))
+    });
 }
 
 criterion_group!(

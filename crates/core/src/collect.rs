@@ -82,7 +82,13 @@ mod tests {
     use crate::policy::Reactive;
 
     fn obs(ibu: f64, epoch: u64) -> EpochObservation {
-        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, epoch, ..Default::default() }
+        EpochObservation {
+            cycles: 500,
+            ibu,
+            ibu_peak: ibu,
+            epoch,
+            ..Default::default()
+        }
     }
 
     #[test]

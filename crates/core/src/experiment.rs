@@ -3,23 +3,30 @@
 
 use serde::{Deserialize, Serialize};
 
-use dozznoc_noc::{Network, NocConfig, RunReport};
+use dozznoc_noc::{Network, NocConfig, NullSink, RunReport, Telemetry};
 use dozznoc_topology::Topology;
 use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
+use dozznoc_types::ConfigError;
 
 use crate::model::{ModelKind, ALL_MODELS};
 use crate::training::ModelSuite;
 
 /// Run one model on one trace and report.
-pub fn run_model(
+pub fn run_model(cfg: NocConfig, trace: &Trace, kind: ModelKind, suite: &ModelSuite) -> RunReport {
+    run_model_with_telemetry(cfg, trace, kind, suite, &mut NullSink)
+}
+
+/// Run one model on one trace, streaming per-epoch telemetry into `tel`.
+pub fn run_model_with_telemetry(
     cfg: NocConfig,
     trace: &Trace,
     kind: ModelKind,
     suite: &ModelSuite,
+    tel: &mut dyn Telemetry,
 ) -> RunReport {
-    let mut policy = kind.policy(suite, &cfg.topology);
+    let mut policy = kind.build(suite);
     Network::new(cfg)
-        .run(trace, policy.as_mut())
+        .run_with_telemetry(trace, policy.as_mut(), tel)
         .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
 }
 
@@ -59,10 +66,21 @@ impl Campaign {
         }
     }
 
-    /// Epoch size override.
-    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
+    /// Epoch size override. Rejects degenerate epochs (see
+    /// [`dozznoc_types::MIN_EPOCH_CYCLES`]).
+    pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
+        if epoch_cycles < dozznoc_types::MIN_EPOCH_CYCLES {
+            return Err(ConfigError::DegenerateEpoch { epoch_cycles });
+        }
         self.epoch_cycles = epoch_cycles;
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Campaign::try_with_epoch_cycles`].
+    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
+    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
+        self.try_with_epoch_cycles(epoch_cycles)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Trace horizon override.
@@ -77,32 +95,63 @@ impl Campaign {
         self
     }
 
-    /// Run on time-compressed traces (Fig. 8(a,b)).
-    pub fn with_compression(mut self, factor: u64) -> Self {
-        assert!(factor >= 1);
+    /// Run on time-compressed traces (Fig. 8(a,b)). A factor of 1 is
+    /// uncompressed; 0 is rejected.
+    pub fn try_with_compression(mut self, factor: u64) -> Result<Self, ConfigError> {
+        if factor == 0 {
+            return Err(ConfigError::ZeroCompression);
+        }
         self.load_scale = (1, factor);
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Campaign::try_with_compression`].
+    #[deprecated(note = "use try_with_compression, which returns Result")]
+    pub fn with_compression(self, factor: u64) -> Self {
+        self.try_with_compression(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fractional compression: injection times scaled by `num/den`
     /// (load changes by `den/num`). The Fig. 8 "compressed" runs use
-    /// 2/3 — 1.5× load, near but not past saturation.
-    pub fn with_load_scale(mut self, num: u64, den: u64) -> Self {
-        assert!(num >= 1 && den >= 1);
+    /// 2/3 — 1.5× load, near but not past saturation. Zero terms are
+    /// rejected.
+    pub fn try_with_load_scale(mut self, num: u64, den: u64) -> Result<Self, ConfigError> {
+        if num == 0 || den == 0 {
+            return Err(ConfigError::ZeroLoadScale { num, den });
+        }
         self.load_scale = (num, den);
-        self
+        Ok(self)
     }
 
-    /// Restrict the model set.
-    pub fn with_models(mut self, models: &[ModelKind]) -> Self {
-        assert!(!models.is_empty());
+    /// Panicking shim for [`Campaign::try_with_load_scale`].
+    #[deprecated(note = "use try_with_load_scale, which returns Result")]
+    pub fn with_load_scale(self, num: u64, den: u64) -> Self {
+        self.try_with_load_scale(num, den)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Restrict the model set. An empty set is rejected.
+    pub fn try_with_models(mut self, models: &[ModelKind]) -> Result<Self, ConfigError> {
+        if models.is_empty() {
+            return Err(ConfigError::EmptyModelSet);
+        }
         self.models = models.to_vec();
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Campaign::try_with_models`].
+    #[deprecated(note = "use try_with_models, which returns Result")]
+    pub fn with_models(self, models: &[ModelKind]) -> Self {
+        self.try_with_models(models)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Simulator configuration the campaign uses.
     pub fn config(&self) -> NocConfig {
-        NocConfig::paper(self.topology).with_epoch_cycles(self.epoch_cycles)
+        NocConfig::paper(self.topology)
+            .try_with_epoch_cycles(self.epoch_cycles)
+            .expect("campaign epoch validated at construction")
     }
 
     /// Generate (and optionally compress) one benchmark's trace.
@@ -116,33 +165,61 @@ impl Campaign {
     }
 
     /// Run every model over every benchmark. Benchmarks fan out across
-    /// scoped threads (crossbeam) — each thread owns its trace and
-    /// policies, results merge at the join.
+    /// scoped threads — each thread owns its trace and policies, results
+    /// merge at the join.
     pub fn run(&self, benches: &[Benchmark], suite: &ModelSuite) -> Vec<CampaignResult> {
-        let results = parking_lot::Mutex::new(Vec::with_capacity(
-            benches.len() * self.models.len(),
-        ));
-        crossbeam::scope(|scope| {
+        self.run_with_telemetry(benches, suite, |_, _| NullSink)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    }
+
+    /// Run every model over every benchmark, giving each
+    /// (benchmark, model) cell its own telemetry sink built by
+    /// `make_sink`. Workers own their sinks for the duration of the
+    /// cell's run; sinks merge back with their results at the join, in
+    /// deterministic (benchmark, model) order.
+    pub fn run_with_telemetry<T, F>(
+        &self,
+        benches: &[Benchmark],
+        suite: &ModelSuite,
+        make_sink: F,
+    ) -> Vec<(CampaignResult, T)>
+    where
+        T: Telemetry + Send,
+        F: Fn(Benchmark, ModelKind) -> T + Sync,
+    {
+        let results = std::sync::Mutex::new(Vec::with_capacity(benches.len() * self.models.len()));
+        std::thread::scope(|scope| {
             for &bench in benches {
                 let results = &results;
-                let suite = &suite;
-                scope.spawn(move |_| {
+                let make_sink = &make_sink;
+                scope.spawn(move || {
                     let trace = self.trace(bench);
                     for &model in &self.models {
-                        let report = run_model(self.config(), &trace, model, suite);
-                        results.lock().push(CampaignResult {
-                            benchmark: bench.name().to_string(),
+                        let mut sink = make_sink(bench, model);
+                        let report = run_model_with_telemetry(
+                            self.config(),
+                            &trace,
                             model,
-                            report,
-                        });
+                            suite,
+                            &mut sink,
+                        );
+                        results.lock().expect("campaign mutex poisoned").push((
+                            CampaignResult {
+                                benchmark: bench.name().to_string(),
+                                model,
+                                report,
+                            },
+                            sink,
+                        ));
                     }
                 });
             }
-        })
-        .expect("campaign threads do not panic");
-        let mut out = results.into_inner();
+        });
+        let mut out = results.into_inner().expect("campaign mutex poisoned");
         // Deterministic presentation order: benchmark, then model.
-        out.sort_by_key(|r| {
+        out.sort_by_key(|(r, _)| {
             (
                 benches.iter().position(|b| b.name() == r.benchmark),
                 self.models.iter().position(|m| *m == r.model),
@@ -226,8 +303,7 @@ pub fn summarize(results: &[CampaignResult]) -> Vec<ModelSummary> {
             let mut n = 0.0;
             let (mut s, mut d, mut t, mut l, mut e) = (0.0, 0.0, 0.0, 0.0, 0.0);
             for r in results.iter().filter(|r| r.model == model) {
-                let Some(base) = baselines.iter().find(|b| b.benchmark == r.benchmark)
-                else {
+                let Some(base) = baselines.iter().find(|b| b.benchmark == r.benchmark) else {
                     continue;
                 };
                 s += r.report.static_energy_vs(&base.report);
@@ -257,7 +333,10 @@ mod tests {
     use dozznoc_ml::FeatureSet;
 
     fn quick_suite(topo: Topology) -> ModelSuite {
-        ModelSuite::train(&Trainer::new(topo).with_duration_ns(2_000), FeatureSet::Reduced5)
+        ModelSuite::train(
+            &Trainer::new(topo).with_duration_ns(2_000),
+            FeatureSet::Reduced5,
+        )
     }
 
     #[test]
@@ -289,7 +368,11 @@ mod tests {
         assert!((base.static_ratio - 1.0).abs() < 1e-9);
         assert!((base.throughput_ratio - 1.0).abs() < 1e-9);
         // Every power-managed model saves static energy vs. baseline.
-        for m in [ModelKind::PowerGated, ModelKind::DozzNoc, ModelKind::MlTurbo] {
+        for m in [
+            ModelKind::PowerGated,
+            ModelKind::DozzNoc,
+            ModelKind::MlTurbo,
+        ] {
             assert!(
                 get(m).static_ratio < 0.95,
                 "{m}: static ratio {}",
@@ -304,6 +387,95 @@ mod tests {
                 get(m).dynamic_ratio
             );
         }
+    }
+
+    #[test]
+    fn degenerate_epoch_is_rejected() {
+        let err = Campaign::new(Topology::mesh8x8())
+            .try_with_epoch_cycles(5)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DegenerateEpoch { epoch_cycles: 5 });
+        assert!(Campaign::new(Topology::mesh8x8())
+            .try_with_epoch_cycles(dozznoc_types::MIN_EPOCH_CYCLES)
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_compression_is_rejected() {
+        let err = Campaign::new(Topology::mesh8x8())
+            .try_with_compression(0)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCompression);
+        assert!(Campaign::new(Topology::mesh8x8())
+            .try_with_compression(1)
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_load_scale_is_rejected() {
+        let err = Campaign::new(Topology::mesh8x8())
+            .try_with_load_scale(0, 3)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroLoadScale { num: 0, den: 3 });
+        let err = Campaign::new(Topology::mesh8x8())
+            .try_with_load_scale(2, 0)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroLoadScale { num: 2, den: 0 });
+        assert!(Campaign::new(Topology::mesh8x8())
+            .try_with_load_scale(2, 3)
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_model_set_is_rejected() {
+        let err = Campaign::new(Topology::mesh8x8())
+            .try_with_models(&[])
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyModelSet);
+        assert!(Campaign::new(Topology::mesh8x8())
+            .try_with_models(&[ModelKind::Baseline])
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate epoch")]
+    fn deprecated_campaign_shim_still_panics() {
+        #[allow(deprecated)]
+        let _ = Campaign::new(Topology::mesh8x8()).with_epoch_cycles(1);
+    }
+
+    #[test]
+    fn campaign_telemetry_gives_each_cell_its_own_sink() {
+        use dozznoc_noc::TimelineSink;
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let campaign = Campaign::new(topo)
+            .with_duration_ns(2_000)
+            .try_with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
+            .expect("non-empty model set");
+        let cells =
+            campaign.run_with_telemetry(&[Benchmark::Fft, Benchmark::Lu], &suite, |_, _| {
+                TimelineSink::new()
+            });
+        assert_eq!(cells.len(), 2 * 2);
+        for (result, sink) in &cells {
+            assert!(!sink.epochs.is_empty(), "{}: no epochs", result.model);
+            let total: f64 = sink.total_energy_j();
+            let reported = result.report.energy.static_j + result.report.energy.dynamic_with_ml_j();
+            assert!(
+                (total - reported).abs() <= 1e-9 * reported.max(1.0),
+                "{}: sink energy {total} vs report {reported}",
+                result.model
+            );
+            let end = sink.report.as_ref().expect("report captured at run end");
+            assert_eq!(
+                end.stats.packets_delivered,
+                result.report.stats.packets_delivered
+            );
+        }
+        // Sinks merged in deterministic (benchmark, model) order.
+        assert_eq!(cells[0].0.benchmark, "fft");
+        assert_eq!(cells[1].0.model, ModelKind::DozzNoc);
     }
 
     #[test]
@@ -327,7 +499,9 @@ mod tests {
     fn edp_combines_energy_and_latency() {
         let topo = Topology::mesh8x8();
         let suite = quick_suite(topo);
-        let trace = Campaign::new(topo).with_duration_ns(3_000).trace(Benchmark::Fft);
+        let trace = Campaign::new(topo)
+            .with_duration_ns(3_000)
+            .trace(Benchmark::Fft);
         let base = run_model(NocConfig::paper(topo), &trace, ModelKind::Baseline, &suite);
         let e = edp(&base);
         assert!(e > 0.0);

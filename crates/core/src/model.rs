@@ -36,21 +36,53 @@ pub const ALL_MODELS: [ModelKind; 5] = [
 impl ModelKind {
     /// Instantiate the policy. The trained `suite` is only consulted by
     /// the ML models.
-    pub fn policy(&self, suite: &ModelSuite, topo: &Topology) -> Box<dyn PowerPolicy> {
+    pub fn build(&self, suite: &ModelSuite) -> Box<dyn PowerPolicy> {
         match self {
             ModelKind::Baseline => Box::new(Baseline),
             ModelKind::PowerGated => Box::new(PowerGated),
             ModelKind::LeadDvfs => Box::new(Proactive::lead(suite.lead.clone())),
             ModelKind::DozzNoc => Box::new(Proactive::dozznoc(suite.dozznoc.clone())),
-            ModelKind::MlTurbo => {
-                Box::new(Proactive::turbo(suite.turbo.clone(), topo.num_routers()))
-            }
+            ModelKind::MlTurbo => Box::new(Proactive::turbo(suite.turbo.clone())),
+        }
+    }
+
+    /// Shim for [`ModelKind::build`]; the topology argument is unused
+    /// now that turbo counters size themselves.
+    #[deprecated(note = "use build, which no longer needs a topology")]
+    pub fn policy(&self, suite: &ModelSuite, _topo: &Topology) -> Box<dyn PowerPolicy> {
+        self.build(suite)
+    }
+
+    /// Parse a CLI-style model name (as printed by `dozz-repro --help`).
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "baseline" => Some(ModelKind::Baseline),
+            "pg" | "powergated" | "power-gated" => Some(ModelKind::PowerGated),
+            "lead" | "lead-tau" | "dvfs" => Some(ModelKind::LeadDvfs),
+            "dozznoc" => Some(ModelKind::DozzNoc),
+            "turbo" | "ml-turbo" => Some(ModelKind::MlTurbo),
+            _ => None,
         }
     }
 
     /// Whether this model needs trained weights.
     pub fn uses_ml(&self) -> bool {
-        matches!(self, ModelKind::LeadDvfs | ModelKind::DozzNoc | ModelKind::MlTurbo)
+        matches!(
+            self,
+            ModelKind::LeadDvfs | ModelKind::DozzNoc | ModelKind::MlTurbo
+        )
+    }
+
+    /// Short lowercase name, stable for filenames and CLI round-trips
+    /// (each is accepted by [`ModelKind::parse`]).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ModelKind::Baseline => "baseline",
+            ModelKind::PowerGated => "pg",
+            ModelKind::LeadDvfs => "lead",
+            ModelKind::DozzNoc => "dozznoc",
+            ModelKind::MlTurbo => "turbo",
+        }
     }
 
     /// Display name matching the paper's figure legends.
@@ -96,7 +128,7 @@ mod tests {
             FeatureSet::Reduced5,
         );
         for kind in ALL_MODELS {
-            let p = kind.policy(&suite, &topo);
+            let p = kind.build(&suite);
             let expect_gating = matches!(
                 kind,
                 ModelKind::PowerGated | ModelKind::DozzNoc | ModelKind::MlTurbo
@@ -104,5 +136,15 @@ mod tests {
             assert_eq!(p.gating_enabled(), expect_gating, "{kind}");
             assert_eq!(p.ml_features().is_some(), kind.uses_ml(), "{kind}");
         }
+    }
+
+    #[test]
+    fn parse_accepts_cli_names() {
+        assert_eq!(ModelKind::parse("baseline"), Some(ModelKind::Baseline));
+        assert_eq!(ModelKind::parse("pg"), Some(ModelKind::PowerGated));
+        assert_eq!(ModelKind::parse("lead"), Some(ModelKind::LeadDvfs));
+        assert_eq!(ModelKind::parse("DOZZNOC"), Some(ModelKind::DozzNoc));
+        assert_eq!(ModelKind::parse("turbo"), Some(ModelKind::MlTurbo));
+        assert_eq!(ModelKind::parse("nonsense"), None);
     }
 }

@@ -62,12 +62,20 @@ impl Adaptive {
                 RecursiveLeastSquares::new(feature_set.len(), DEFAULT_FORGETTING, DEFAULT_DELTA)
             })
             .collect();
-        Adaptive { feature_set, estimators, pending: vec![None; num_routers], gating }
+        Adaptive {
+            feature_set,
+            estimators,
+            pending: vec![None; num_routers],
+            gating,
+        }
     }
 
     /// Total online updates absorbed across routers.
     pub fn total_updates(&self) -> u64 {
-        self.estimators.iter().map(RecursiveLeastSquares::updates).sum()
+        self.estimators
+            .iter()
+            .map(RecursiveLeastSquares::updates)
+            .sum()
     }
 
     /// One router's current weights (inspection/tests).
@@ -121,14 +129,24 @@ mod tests {
     }
 
     fn obs(router: RouterId, epoch: u64, ibu: f64) -> EpochObservation {
-        EpochObservation { router, epoch, cycles: 500, ibu, ibu_peak: ibu, ..Default::default() }
+        EpochObservation {
+            router,
+            epoch,
+            cycles: 500,
+            ibu,
+            ibu_peak: ibu,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn warm_start_behaves_like_offline_at_first() {
         let mut a = Adaptive::from_offline(&offline_model(), 4, true);
         // First decision: no label has arrived yet, prediction = offline.
-        assert_eq!(a.select_mode(RouterId(0), &obs(RouterId(0), 0, 0.15)), Mode::M5);
+        assert_eq!(
+            a.select_mode(RouterId(0), &obs(RouterId(0), 0, 0.15)),
+            Mode::M5
+        );
         assert_eq!(a.total_updates(), 0);
     }
 

@@ -26,9 +26,18 @@ mod tests {
     #[test]
     fn baseline_never_gates_and_always_m7() {
         let mut b = Baseline;
-        let obs = EpochObservation { cycles: 500, ibu: 0.0, ..Default::default() };
+        let obs = EpochObservation {
+            cycles: 500,
+            ibu: 0.0,
+            ..Default::default()
+        };
         assert_eq!(b.select_mode(RouterId(0), &obs), Mode::M7);
-        let busy = EpochObservation { cycles: 500, ibu: 0.9, ibu_peak: 0.9, ..Default::default() };
+        let busy = EpochObservation {
+            cycles: 500,
+            ibu: 0.9,
+            ibu_peak: 0.9,
+            ..Default::default()
+        };
         assert_eq!(b.select_mode(RouterId(1), &busy), Mode::M7);
         assert!(!b.gating_enabled());
         assert_eq!(b.ml_features(), None);

@@ -59,7 +59,11 @@ impl Oracle {
     /// Build an oracle by recording `trace` under the reactive policy of
     /// the same gating family on a fresh network.
     pub fn record(cfg: NocConfig, trace: &Trace, gating: bool) -> Oracle {
-        let inner = if gating { Reactive::dozznoc() } else { Reactive::lead() };
+        let inner = if gating {
+            Reactive::dozznoc()
+        } else {
+            Reactive::lead()
+        };
         let mut recorder = IbuRecorder {
             inner,
             ibu: vec![Vec::new(); cfg.topology.num_routers()],
@@ -67,7 +71,10 @@ impl Oracle {
         Network::new(cfg)
             .run(trace, &mut recorder)
             .expect("oracle recording run completes");
-        Oracle { ibu: recorder.ibu, gating }
+        Oracle {
+            ibu: recorder.ibu,
+            gating,
+        }
     }
 
     /// Epochs recorded for a router.
@@ -108,8 +115,9 @@ mod tests {
 
     fn fixture() -> (NocConfig, Trace) {
         let topo = Topology::mesh8x8();
-        let trace =
-            TraceGenerator::new(topo).with_duration_ns(3_000).generate(Benchmark::Fft);
+        let trace = TraceGenerator::new(topo)
+            .with_duration_ns(3_000)
+            .generate(Benchmark::Fft);
         (NocConfig::paper(topo), trace)
     }
 
@@ -120,7 +128,9 @@ mod tests {
         assert!(oracle.recorded_epochs(RouterId(0)) > 2);
         assert!(oracle.gating_enabled());
         // Replaying the same trace works and delivers everything.
-        let r = Network::new(cfg).run(&trace, &mut oracle).expect("oracle run");
+        let r = Network::new(cfg)
+            .run(&trace, &mut oracle)
+            .expect("oracle run");
         assert_eq!(r.stats.packets_delivered, trace.len() as u64);
     }
 
@@ -178,8 +188,7 @@ mod tests {
         let mut oracle = Oracle::record(cfg, &trace, false);
         let r_oracle = Network::new(cfg).run(&trace, &mut oracle).unwrap();
         assert!(
-            r_oracle.stats.avg_net_latency_ns()
-                <= r_reactive.stats.avg_net_latency_ns() * 1.10,
+            r_oracle.stats.avg_net_latency_ns() <= r_reactive.stats.avg_net_latency_ns() * 1.10,
             "oracle {} ns vs reactive {} ns",
             r_oracle.stats.avg_net_latency_ns(),
             r_reactive.stats.avg_net_latency_ns()

@@ -34,7 +34,10 @@ mod tests {
     #[test]
     fn gates_but_never_scales() {
         let mut p = PowerGated;
-        let obs = EpochObservation { cycles: 500, ..Default::default() };
+        let obs = EpochObservation {
+            cycles: 500,
+            ..Default::default()
+        };
         assert_eq!(p.select_mode(RouterId(3), &obs), Mode::M7);
         assert!(p.gating_enabled());
         assert_eq!(p.ml_features(), None);

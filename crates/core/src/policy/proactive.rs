@@ -11,7 +11,7 @@
 //!   prediction of an intermediate mode (M4–M6) is overridden to M7.
 
 use dozznoc_ml::{mode_of_utilization, FeatureSet, TrainedModel};
-use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_noc::{DecisionTrace, EpochObservation, PowerPolicy};
 use dozznoc_types::{Mode, RouterId};
 
 use crate::features::extract_features;
@@ -23,26 +23,41 @@ pub struct Proactive {
     gating: bool,
     turbo: Option<Vec<u32>>, // per-router intermediate-mode counters
     name: &'static str,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Proactive {
     /// The full DOZZNOC model (ML + PG + DVFS).
     pub fn dozznoc(model: TrainedModel) -> Self {
-        Proactive { model, gating: true, turbo: None, name: "dozznoc" }
+        Proactive {
+            model,
+            gating: true,
+            turbo: None,
+            name: "dozznoc",
+            last_decision: None,
+        }
     }
 
     /// The LEAD-τ comparison model (ML + DVFS, no gating).
     pub fn lead(model: TrainedModel) -> Self {
-        Proactive { model, gating: false, turbo: None, name: "lead-tau" }
+        Proactive {
+            model,
+            gating: false,
+            turbo: None,
+            name: "lead-tau",
+            last_decision: None,
+        }
     }
 
-    /// The ML+TURBO experimental model.
-    pub fn turbo(model: TrainedModel, num_routers: usize) -> Self {
+    /// The ML+TURBO experimental model. Per-router turbo counters grow
+    /// on demand, so the constructor needs no topology.
+    pub fn turbo(model: TrainedModel) -> Self {
         Proactive {
             model,
             gating: true,
-            turbo: Some(vec![0; num_routers]),
+            turbo: Some(Vec::new()),
             name: "ml-turbo",
+            last_decision: None,
         }
     }
 
@@ -61,11 +76,18 @@ impl PowerPolicy for Proactive {
     fn select_mode(&mut self, router: RouterId, obs: &EpochObservation) -> Mode {
         let x = extract_features(obs, self.model.feature_set);
         let predicted_ibu = self.model.predict(&x);
+        self.last_decision = Some(DecisionTrace {
+            features: x,
+            predicted_ibu,
+        });
         let mut mode = mode_of_utilization(predicted_ibu);
         if let Some(counters) = self.turbo.as_mut() {
             // Turbo rule: every third intermediate-mode prediction is
             // forced to the highest mode (§III-B ML+TURBO).
             if mode != Mode::M3 && mode != Mode::M7 {
+                if counters.len() <= router.idx() {
+                    counters.resize(router.idx() + 1, 0);
+                }
                 let c = &mut counters[router.idx()];
                 *c += 1;
                 if *c % 3 == 0 {
@@ -82,6 +104,10 @@ impl PowerPolicy for Proactive {
 
     fn ml_features(&self) -> Option<usize> {
         Some(self.model.feature_set.len())
+    }
+
+    fn decision_trace(&self) -> Option<&DecisionTrace> {
+        self.last_decision.as_ref()
     }
 
     fn name(&self) -> &str {
@@ -107,7 +133,12 @@ mod tests {
     }
 
     fn obs(ibu: f64) -> EpochObservation {
-        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, ..Default::default() }
+        EpochObservation {
+            cycles: 500,
+            ibu,
+            ibu_peak: ibu,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -129,17 +160,21 @@ mod tests {
 
     #[test]
     fn turbo_overrides_every_third_intermediate() {
-        let mut t = Proactive::turbo(identity_model(), 4);
+        let mut t = Proactive::turbo(identity_model());
         // IBU 0.15 → M5 (intermediate). Predictions 1, 2 keep M5; the
         // 3rd is forced to M7; then 4, 5 keep M5; 6th forced…
-        let got: Vec<Mode> =
-            (0..6).map(|_| t.select_mode(RouterId(1), &obs(0.15))).collect();
-        assert_eq!(got, vec![Mode::M5, Mode::M5, Mode::M7, Mode::M5, Mode::M5, Mode::M7]);
+        let got: Vec<Mode> = (0..6)
+            .map(|_| t.select_mode(RouterId(1), &obs(0.15)))
+            .collect();
+        assert_eq!(
+            got,
+            vec![Mode::M5, Mode::M5, Mode::M7, Mode::M5, Mode::M5, Mode::M7]
+        );
     }
 
     #[test]
     fn turbo_never_overrides_extremes() {
-        let mut t = Proactive::turbo(identity_model(), 4);
+        let mut t = Proactive::turbo(identity_model());
         for _ in 0..10 {
             assert_eq!(t.select_mode(RouterId(0), &obs(0.01)), Mode::M3);
             assert_eq!(t.select_mode(RouterId(0), &obs(0.9)), Mode::M7);
@@ -148,7 +183,7 @@ mod tests {
 
     #[test]
     fn turbo_counters_are_per_router() {
-        let mut t = Proactive::turbo(identity_model(), 4);
+        let mut t = Proactive::turbo(identity_model());
         // Two intermediate predictions on router 0, then one on router 1:
         // router 1's counter is independent, so no override yet.
         t.select_mode(RouterId(0), &obs(0.15));
@@ -156,6 +191,19 @@ mod tests {
         assert_eq!(t.select_mode(RouterId(1), &obs(0.15)), Mode::M5);
         // Router 0's third intermediate triggers.
         assert_eq!(t.select_mode(RouterId(0), &obs(0.15)), Mode::M7);
+    }
+
+    #[test]
+    fn decision_trace_records_last_prediction() {
+        let mut p = Proactive::dozznoc(identity_model());
+        assert!(
+            p.decision_trace().is_none(),
+            "no decision before the first epoch"
+        );
+        p.select_mode(RouterId(0), &obs(0.30));
+        let d = p.decision_trace().expect("trace after select_mode");
+        assert_eq!(d.features.len(), 5);
+        assert!((d.predicted_ibu - 0.30).abs() < 1e-12);
     }
 
     #[test]

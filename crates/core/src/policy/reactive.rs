@@ -21,12 +21,18 @@ pub struct Reactive {
 impl Reactive {
     /// Reactive variant of DOZZNOC (gating + DVFS).
     pub fn dozznoc() -> Self {
-        Reactive { gating: true, name: "reactive-dozznoc" }
+        Reactive {
+            gating: true,
+            name: "reactive-dozznoc",
+        }
     }
 
     /// Reactive variant of LEAD-τ (DVFS only).
     pub fn lead() -> Self {
-        Reactive { gating: false, name: "reactive-lead" }
+        Reactive {
+            gating: false,
+            name: "reactive-lead",
+        }
     }
 }
 
@@ -49,7 +55,12 @@ mod tests {
     use super::*;
 
     fn obs(ibu: f64) -> EpochObservation {
-        EpochObservation { cycles: 500, ibu, ibu_peak: ibu, ..Default::default() }
+        EpochObservation {
+            cycles: 500,
+            ibu,
+            ibu_peak: ibu,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -69,7 +80,10 @@ mod tests {
         assert!(d.gating_enabled());
         assert!(!l.gating_enabled());
         let o = obs(0.15);
-        assert_eq!(d.select_mode(RouterId(1), &o), l.select_mode(RouterId(1), &o));
+        assert_eq!(
+            d.select_mode(RouterId(1), &o),
+            l.select_mode(RouterId(1), &o)
+        );
         assert_eq!(d.ml_features(), None);
         assert_eq!(l.ml_features(), None);
     }

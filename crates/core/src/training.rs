@@ -18,9 +18,8 @@ use dozznoc_ml::ridge::DEFAULT_LAMBDA_GRID;
 use dozznoc_ml::{Dataset, FeatureSet, RidgeRegression, TrainedModel};
 use dozznoc_noc::{Network, NocConfig};
 use dozznoc_topology::Topology;
-use dozznoc_traffic::{
-    Benchmark, Trace, TraceGenerator, TRAIN_BENCHMARKS, VALIDATION_BENCHMARKS,
-};
+use dozznoc_traffic::{Benchmark, Trace, TraceGenerator, TRAIN_BENCHMARKS, VALIDATION_BENCHMARKS};
+use dozznoc_types::ConfigError;
 
 use crate::collect::Collector;
 use crate::policy::Reactive;
@@ -65,10 +64,21 @@ impl Trainer {
         }
     }
 
-    /// Train at a different epoch size (the §IV-B sweep).
-    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
+    /// Train at a different epoch size (the §IV-B sweep). Rejects
+    /// epochs shorter than [`dozznoc_types::MIN_EPOCH_CYCLES`].
+    pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
+        if epoch_cycles < dozznoc_types::MIN_EPOCH_CYCLES {
+            return Err(ConfigError::DegenerateEpoch { epoch_cycles });
+        }
         self.epoch_cycles = epoch_cycles;
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Trainer::try_with_epoch_cycles`].
+    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
+    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
+        self.try_with_epoch_cycles(epoch_cycles)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Shorter traces (tests / CI).
@@ -84,22 +94,42 @@ impl Trainer {
     }
 
     /// Collect (and train on) time-compressed traces.
-    pub fn with_compression(mut self, factor: u64) -> Self {
-        assert!(factor >= 1);
+    pub fn try_with_compression(mut self, factor: u64) -> Result<Self, ConfigError> {
+        if factor == 0 {
+            return Err(ConfigError::ZeroCompression);
+        }
         self.load_scale = (1, factor);
-        self
+        Ok(self)
     }
 
-    /// Fractional load scaling (see `Campaign::with_load_scale`).
-    pub fn with_load_scale(mut self, num: u64, den: u64) -> Self {
-        assert!(num >= 1 && den >= 1);
+    /// Panicking shim for [`Trainer::try_with_compression`].
+    #[deprecated(note = "use try_with_compression, which returns Result")]
+    pub fn with_compression(self, factor: u64) -> Self {
+        self.try_with_compression(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fractional load scaling (see `Campaign::try_with_load_scale`).
+    pub fn try_with_load_scale(mut self, num: u64, den: u64) -> Result<Self, ConfigError> {
+        if num == 0 || den == 0 {
+            return Err(ConfigError::ZeroLoadScale { num, den });
+        }
         self.load_scale = (num, den);
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Trainer::try_with_load_scale`].
+    #[deprecated(note = "use try_with_load_scale, which returns Result")]
+    pub fn with_load_scale(self, num: u64, den: u64) -> Self {
+        self.try_with_load_scale(num, den)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The simulator configuration training runs use.
     pub fn config(&self) -> NocConfig {
-        NocConfig::paper(self.topology).with_epoch_cycles(self.epoch_cycles)
+        NocConfig::paper(self.topology)
+            .try_with_epoch_cycles(self.epoch_cycles)
+            .expect("trainer epoch validated at construction")
     }
 
     fn trace(&self, bench: Benchmark) -> Trace {
@@ -117,8 +147,7 @@ impl Trainer {
         let mut pooled = Dataset::new(FeatureSet::Full41.len());
         for &bench in benches {
             let trace = self.trace(bench);
-            let mut collector =
-                Collector::new(kind.policy(), self.topology.num_routers());
+            let mut collector = Collector::new(kind.policy(), self.topology.num_routers());
             Network::new(self.config())
                 .run(&trace, &mut collector)
                 .unwrap_or_else(|e| panic!("training run on {bench} failed: {e}"));
@@ -194,7 +223,11 @@ impl ModelSuite {
         let dozznoc = trainer.train_from_datasets(&gated_train, &gated_val, feature_set);
         let turbo = dozznoc.clone();
         let lead = trainer.train(ReactiveKind::DvfsOnly, feature_set);
-        ModelSuite { dozznoc, lead, turbo }
+        ModelSuite {
+            dozznoc,
+            lead,
+            turbo,
+        }
     }
 }
 

@@ -33,7 +33,10 @@ pub fn gating(ctx: &Ctx) {
 
     let variants: Vec<(String, NocConfig)> = vec![
         ("paper (punch, T-Idle 4)".into(), NocConfig::paper(topo)),
-        ("no wake punch".into(), NocConfig::paper(topo).without_wake_punch()),
+        (
+            "no wake punch".into(),
+            NocConfig::paper(topo).without_wake_punch(),
+        ),
         ("T-Idle 2".into(), NocConfig::paper(topo).with_t_idle(2)),
         ("T-Idle 16".into(), NocConfig::paper(topo).with_t_idle(16)),
         ("T-Idle 64".into(), NocConfig::paper(topo).with_t_idle(64)),
@@ -163,7 +166,9 @@ pub fn online(ctx: &Ctx) {
             .generate(bench);
         let base = run_model(cfg, &trace, ModelKind::Baseline, &suite);
         let mut run = |name: &str, policy: &mut dyn PowerPolicy| {
-            let r = Network::new(cfg).run(&trace, policy).expect("online ablation run");
+            let r = Network::new(cfg)
+                .run(&trace, policy)
+                .expect("online ablation run");
             println!(
                 "{:<12} {:<16} {:>11.1} {:>11.1} {:>10.1}",
                 bench.name(),
@@ -235,7 +240,10 @@ pub fn routing(ctx: &Ctx) {
                 t,
                 l
             );
-            rows.push(format!("{},{name},{s:.4},{d:.4},{t:.4},{l:.2}", bench.name()));
+            rows.push(format!(
+                "{},{name},{s:.4},{d:.4},{t:.4},{l:.2}",
+                bench.name()
+            ));
         }
     }
     println!("(the DozzNoC story must not hinge on the specific DOR order)");

@@ -12,26 +12,42 @@ pub struct Ctx {
     pub quick: bool,
     /// Trace-generator seed.
     pub seed: u64,
+    /// Benchmark selector (`--bench`), for commands that run one trace.
+    pub bench: Option<String>,
+    /// Model selector (`--model`), for commands that run one policy.
+    pub model: Option<String>,
 }
 
 impl Ctx {
-    /// Parse `--quick`, `--out DIR`, `--seed N` from the argument list.
+    /// Parse `--quick`, `--out DIR`, `--seed N`, `--bench NAME`,
+    /// `--model NAME` from the argument list.
     pub fn from_args(args: &[String]) -> Ctx {
-        let mut ctx = Ctx { out_dir: PathBuf::from("results"), quick: false, seed: 0 };
+        let mut ctx = Ctx {
+            out_dir: PathBuf::from("results"),
+            quick: false,
+            seed: 0,
+            bench: None,
+            model: None,
+        };
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => ctx.quick = true,
                 "--out" => {
-                    ctx.out_dir = PathBuf::from(
-                        it.next().expect("--out needs a directory argument"),
-                    )
+                    ctx.out_dir =
+                        PathBuf::from(it.next().expect("--out needs a directory argument"))
                 }
                 "--seed" => {
                     ctx.seed = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs an integer")
+                }
+                "--bench" => {
+                    ctx.bench = Some(it.next().expect("--bench needs a benchmark name").clone())
+                }
+                "--model" => {
+                    ctx.model = Some(it.next().expect("--model needs a model name").clone())
                 }
                 other => panic!("unknown flag `{other}`"),
             }
@@ -53,8 +69,8 @@ impl Ctx {
         fs::create_dir_all(&self.out_dir)
             .unwrap_or_else(|e| panic!("cannot create {:?}: {e}", self.out_dir));
         let path = self.out_dir.join(name);
-        let mut f = fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
+        let mut f =
+            fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
         writeln!(f, "{header}").expect("csv write");
         for row in rows {
             writeln!(f, "{row}").expect("csv write");

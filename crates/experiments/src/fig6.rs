@@ -10,7 +10,10 @@ pub fn run(ctx: &Ctx) {
     banner("Fig. 6 — regulator power efficiency");
 
     let curve = EfficiencyCurve::sample(40);
-    println!("{:<8} {:>10} {:>10} {:>8}", "Vout", "SIMO", "baseline", "gain");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "Vout", "SIMO", "baseline", "gain"
+    );
     let mut rows = Vec::new();
     for p in &curve.points {
         // Print every other sample; CSV gets them all.

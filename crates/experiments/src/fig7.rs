@@ -9,8 +9,7 @@ use dozznoc_traffic::TEST_BENCHMARKS;
 use crate::ctx::{banner, Ctx};
 use crate::suite::suite_for;
 
-const ML_MODELS: [ModelKind; 3] =
-    [ModelKind::DozzNoc, ModelKind::LeadDvfs, ModelKind::MlTurbo];
+const ML_MODELS: [ModelKind; 3] = [ModelKind::DozzNoc, ModelKind::LeadDvfs, ModelKind::MlTurbo];
 
 /// Regenerate the per-benchmark mode-residency breakdown.
 pub fn run(ctx: &Ctx) {
@@ -20,7 +19,8 @@ pub fn run(ctx: &Ctx) {
     let campaign = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
         .with_seed(ctx.seed)
-        .with_models(&ML_MODELS);
+        .try_with_models(&ML_MODELS)
+        .expect("non-empty model set");
     let results = campaign.run(&TEST_BENCHMARKS, &suite);
 
     let mut rows = Vec::new();
@@ -53,5 +53,9 @@ pub fn run(ctx: &Ctx) {
             ));
         }
     }
-    ctx.write_csv("fig7_mode_distribution.csv", "model,benchmark,m3,m4,m5,m6,m7", &rows);
+    ctx.write_csv(
+        "fig7_mode_distribution.csv",
+        "model,benchmark,m3,m4,m5,m6,m7",
+        &rows,
+    );
 }

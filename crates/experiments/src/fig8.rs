@@ -23,7 +23,8 @@ pub fn run(ctx: &Ctx) {
     let compressed = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
         .with_seed(ctx.seed)
-        .with_load_scale(2, 3)
+        .try_with_load_scale(2, 3)
+        .expect("2/3 compression is valid")
         .run(&TEST_BENCHMARKS, &suite);
     let uncompressed = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
@@ -31,9 +32,17 @@ pub fn run(ctx: &Ctx) {
         .run(&TEST_BENCHMARKS, &suite);
 
     println!("\n(a) throughput, compressed traces (flits/ns)");
-    print_panel(ctx, &compressed, "fig8a_throughput_compressed.csv", |r, base| {
-        (r.report.stats.throughput_flits_per_ns(), r.report.throughput_vs(&base.report))
-    });
+    print_panel(
+        ctx,
+        &compressed,
+        "fig8a_throughput_compressed.csv",
+        |r, base| {
+            (
+                r.report.stats.throughput_flits_per_ns(),
+                r.report.throughput_vs(&base.report),
+            )
+        },
+    );
 
     println!("\n(b) energy normalized to baseline, compressed traces");
     energy_panel(ctx, &compressed, "fig8b_energy_compressed.csv");
@@ -42,10 +51,7 @@ pub fn run(ctx: &Ctx) {
     energy_panel(ctx, &uncompressed, "fig8c_energy_uncompressed.csv");
 }
 
-fn baseline_of<'a>(
-    results: &'a [CampaignResult],
-    benchmark: &str,
-) -> &'a CampaignResult {
+fn baseline_of<'a>(results: &'a [CampaignResult], benchmark: &str) -> &'a CampaignResult {
     results
         .iter()
         .find(|r| r.model == ModelKind::Baseline && r.benchmark == benchmark)
@@ -104,15 +110,31 @@ fn energy_panel(ctx: &Ctx, results: &[CampaignResult], csv: &str) {
         let n = rs.len().max(1) as f64;
         let s: f64 = rs
             .iter()
-            .map(|r| r.report.static_energy_vs(&baseline_of(results, &r.benchmark).report))
+            .map(|r| {
+                r.report
+                    .static_energy_vs(&baseline_of(results, &r.benchmark).report)
+            })
             .sum::<f64>()
             / n;
         let d: f64 = rs
             .iter()
-            .map(|r| r.report.dynamic_energy_vs(&baseline_of(results, &r.benchmark).report))
+            .map(|r| {
+                r.report
+                    .dynamic_energy_vs(&baseline_of(results, &r.benchmark).report)
+            })
             .sum::<f64>()
             / n;
-        println!("{:<14} {:<22} {:>10.3} {:>10.3}", "MEAN", model.label(), s, d);
+        println!(
+            "{:<14} {:<22} {:>10.3} {:>10.3}",
+            "MEAN",
+            model.label(),
+            s,
+            d
+        );
     }
-    ctx.write_csv(csv, "benchmark,model,static_vs_baseline,dynamic_vs_baseline", &rows);
+    ctx.write_csv(
+        csv,
+        "benchmark,model,static_vs_baseline,dynamic_vs_baseline",
+        &rows,
+    );
 }

@@ -44,7 +44,9 @@ pub fn run(ctx: &Ctx) {
     println!(
         "{:<28} {}",
         "feature",
-        TEST_BENCHMARKS.map(|b| format!("{:>10}", b.name())).join("")
+        TEST_BENCHMARKS
+            .map(|b| format!("{:>10}", b.name()))
+            .join("")
     );
     for (name, col) in candidates() {
         let weights = trainer.train_single_feature(&train41, &val41, col);
@@ -61,5 +63,9 @@ pub fn run(ctx: &Ctx) {
         let avg = accs.iter().sum::<f64>() / accs.len() as f64;
         println!("{name:<28} {}   avg {:.1}%", cells.join(""), avg * 100.0);
     }
-    ctx.write_csv("fig9_single_feature_accuracy.csv", "feature,benchmark,accuracy", &rows);
+    ctx.write_csv(
+        "fig9_single_feature_accuracy.csv",
+        "feature,benchmark,accuracy",
+        &rows,
+    );
 }

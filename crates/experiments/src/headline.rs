@@ -28,7 +28,10 @@ const PAPER_CMESH_DOZZNOC: (f64, f64, f64, f64) = (39.0, 18.0, 5.0, 2.0);
 /// Regenerate the headline summary for both topologies.
 pub fn run(ctx: &Ctx) {
     for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
-        banner(&format!("§IV-B headline — {} (epoch 500, uncompressed)", topo.kind()));
+        banner(&format!(
+            "§IV-B headline — {} (epoch 500, uncompressed)",
+            topo.kind()
+        ));
         let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
         let results = Campaign::new(topo)
             .with_duration_ns(ctx.duration_ns())
@@ -107,7 +110,8 @@ pub fn ablation_features(ctx: &Ctx) {
         let results = Campaign::new(topo)
             .with_duration_ns(ctx.duration_ns())
             .with_seed(ctx.seed)
-            .with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
+            .try_with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
+            .expect("non-empty model set")
             .run(&TEST_BENCHMARKS, &suite);
         let summary = summarize(&results)
             .into_iter()

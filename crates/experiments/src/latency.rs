@@ -37,8 +37,7 @@ pub fn run(ctx: &Ctx) {
             hist.merge(&r.report.stats.net_latency_hist);
             mean += r.report.stats.avg_net_latency_ns();
             max = max.max(
-                r.report.stats.net_latency_max_ticks as f64
-                    / dozznoc_types::TICKS_PER_NS as f64,
+                r.report.stats.net_latency_max_ticks as f64 / dozznoc_types::TICKS_PER_NS as f64,
             );
             n += 1.0;
         }
@@ -61,5 +60,9 @@ pub fn run(ctx: &Ctx) {
         ));
     }
     println!("(percentile values are log₂-bucket upper bounds: ≤2× resolution)");
-    ctx.write_csv("latency_percentiles.csv", "model,mean_ns,p50_ns,p95_ns,p99_ns,max_ns", &rows);
+    ctx.write_csv(
+        "latency_percentiles.csv",
+        "model,mean_ns,p50_ns,p95_ns,p99_ns,max_ns",
+        &rows,
+    );
 }

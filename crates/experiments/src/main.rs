@@ -23,6 +23,7 @@
 //!   scale             8×8-trained model on 4×4…16×16 meshes
 //!   ablation-online   offline ridge vs online-adaptive RLS under drift
 //!   latency           network-latency percentiles per model
+//!   timeline          per-router mode/energy time-series via telemetry
 //!   transition-cost   rail-transition energy vs the savings it erodes
 //!   routing           XY vs YX dimension-order sensitivity
 //!   all               everything above, sharing one training pass
@@ -46,6 +47,7 @@ mod scale;
 mod suite;
 mod sweep;
 mod tables;
+mod timeline;
 
 use ctx::Ctx;
 
@@ -77,6 +79,7 @@ fn main() {
         "ablation-online" => ablations::online(&ctx),
         "routing" => ablations::routing(&ctx),
         "latency" => latency::run(&ctx),
+        "timeline" => timeline::run(&ctx),
         "all" => {
             tables::table1(&ctx);
             tables::table2(&ctx);
@@ -116,9 +119,10 @@ const HELP: &str = "\
 dozz-repro — regenerate the DozzNoC paper's tables and figures
 
 usage: dozz-repro <command> [--quick] [--out DIR] [--seed N]
+       dozz-repro timeline [--bench NAME] [--model NAME] [flags above]
 
 commands: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
           headline sweep-epoch overhead ablation-features ablation-gating
-          ablation-proactive ablation-online scale latency transition-cost
-          routing all
+          ablation-proactive ablation-online scale latency timeline
+          transition-cost routing all
 ";

@@ -18,10 +18,17 @@ pub fn run(ctx: &Ctx) {
             "{:>10} {:>14.1} {:>12.3} {:>10}",
             n, o.energy_pj, o.area_mm2, o.latency_cycles
         );
-        rows.push(format!("{n},{},{},{}", o.energy_pj, o.area_mm2, o.latency_cycles));
+        rows.push(format!(
+            "{n},{},{},{}",
+            o.energy_pj, o.area_mm2, o.latency_cycles
+        ));
     }
     println!("(paper: 7.1 pJ / 0.013 mm² for 5; 61.1 pJ / 0.122 mm² for 41; 3–4 cycles)");
-    ctx.write_csv("overhead.csv", "features,energy_pj,area_mm2,latency_cycles", &rows);
+    ctx.write_csv(
+        "overhead.csv",
+        "features,energy_pj,area_mm2,latency_cycles",
+        &rows,
+    );
 }
 
 /// Transition-energy study (extension): how big is the wake/switch

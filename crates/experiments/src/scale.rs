@@ -51,7 +51,10 @@ pub fn run(ctx: &Ctx) {
             t,
             l
         );
-        rows.push(format!("{side},{},{s:.4},{d:.4},{t:.4},{l:.4}", topo.num_routers()));
+        rows.push(format!(
+            "{side},{},{s:.4},{d:.4},{t:.4},{l:.4}",
+            topo.num_routers()
+        ));
     }
     println!("(the model is trained on the 8×8 mesh only — local features transfer)");
     ctx.write_csv(

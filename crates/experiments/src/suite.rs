@@ -30,7 +30,10 @@ pub fn suite_for(
         eprintln!("  loaded cached models from {}", path.display());
         return suite;
     }
-    eprintln!("  training {} suite (epoch {epoch_cycles}, {feature_set})…", topo.kind());
+    eprintln!(
+        "  training {} suite (epoch {epoch_cycles}, {feature_set})…",
+        topo.kind()
+    );
     let trainer = trainer_for(ctx, topo, epoch_cycles);
     let suite = ModelSuite::train(&trainer, feature_set);
     save(ctx, &path, &suite);
@@ -40,7 +43,8 @@ pub fn suite_for(
 /// The trainer every experiment shares.
 pub fn trainer_for(ctx: &Ctx, topo: Topology, epoch_cycles: u64) -> Trainer {
     Trainer::new(topo)
-        .with_epoch_cycles(epoch_cycles)
+        .try_with_epoch_cycles(epoch_cycles)
+        .expect("experiment epoch sizes are valid")
         .with_duration_ns(ctx.duration_ns())
         .with_seed(ctx.seed)
 }
@@ -48,10 +52,13 @@ pub fn trainer_for(ctx: &Ctx, topo: Topology, epoch_cycles: u64) -> Trainer {
 fn load(path: &std::path::Path) -> Option<ModelSuite> {
     let raw = std::fs::read_to_string(path).ok()?;
     let v: serde_json::Value = serde_json::from_str(&raw).ok()?;
-    let get = |k: &str| -> Option<TrainedModel> {
-        TrainedModel::from_json(&v.get(k)?.to_string()).ok()
-    };
-    Some(ModelSuite { dozznoc: get("dozznoc")?, lead: get("lead")?, turbo: get("turbo")? })
+    let get =
+        |k: &str| -> Option<TrainedModel> { TrainedModel::from_json(&v.get(k)?.to_string()).ok() };
+    Some(ModelSuite {
+        dozznoc: get("dozznoc")?,
+        lead: get("lead")?,
+        turbo: get("turbo")?,
+    })
 }
 
 fn save(ctx: &Ctx, path: &std::path::Path, suite: &ModelSuite) {

@@ -27,10 +27,12 @@ pub fn run(ctx: &Ctx) {
     for epoch in EPOCH_SIZES {
         let suite = suite_for(ctx, topo, epoch, FeatureSet::Reduced5);
         let results = Campaign::new(topo)
-            .with_epoch_cycles(epoch)
+            .try_with_epoch_cycles(epoch)
+            .expect("sweep epoch sizes are valid")
             .with_duration_ns(ctx.duration_ns())
             .with_seed(ctx.seed)
-            .with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
+            .try_with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
+            .expect("non-empty model set")
             .run(&TEST_BENCHMARKS, &suite);
         let s = summarize(&results)
             .into_iter()

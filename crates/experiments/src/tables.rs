@@ -12,7 +12,10 @@ use crate::ctx::{banner, Ctx};
 pub fn table1(ctx: &Ctx) {
     banner("Table I — LDO voltage dropout per SIMO rail");
     let simo = SimoRegulator::default();
-    println!("{:<10} {:<18} {:<14}", "LDO Vin", "LDO Vout range", "dropout range");
+    println!(
+        "{:<10} {:<18} {:<14}",
+        "LDO Vin", "LDO Vout range", "dropout range"
+    );
     let mut rows = Vec::new();
     for (rail, lo, hi) in [(0.9, 0.8, 0.9), (1.1, 1.0, 1.1), (1.2, 1.2, 1.2)] {
         let drop_lo = simo.ldo_for(hi).dropout();
@@ -26,9 +29,15 @@ pub fn table1(ctx: &Ctx) {
         rows.push(format!("{rail},{lo},{hi},{drop_lo},{drop_hi}"));
         assert!(drop_hi <= 0.1 + 1e-12, "design envelope violated");
     }
-    println!("worst dropout over all modes: {:.3} V (envelope 0.1 V)",
-        simo.max_dropout_over_range());
-    ctx.write_csv("table1.csv", "rail_v,vout_lo,vout_hi,dropout_lo,dropout_hi", &rows);
+    println!(
+        "worst dropout over all modes: {:.3} V (envelope 0.1 V)",
+        simo.max_dropout_over_range()
+    );
+    ctx.write_csv(
+        "table1.csv",
+        "rail_v,vout_lo,vout_hi,dropout_lo,dropout_hi",
+        &rows,
+    );
 }
 
 /// Table II: measured 6×6 switch-latency matrix.
@@ -88,7 +97,11 @@ pub fn table3(ctx: &Ctx) {
             r.t_breakeven_cycles
         ));
     }
-    ctx.write_csv("table3.csv", "volt,freq_ghz,t_switch,t_wakeup,t_breakeven", &rows);
+    ctx.write_csv(
+        "table3.csv",
+        "volt,freq_ghz,t_switch,t_wakeup,t_breakeven",
+        &rows,
+    );
 }
 
 /// Table IV: the reduced feature set, plus the mode-selection thresholds

@@ -1,0 +1,126 @@
+//! `dozz-repro timeline` — per-router mode/energy time-series for one
+//! (benchmark, model) cell, captured through the telemetry subsystem.
+//!
+//! Runs the selected model over the selected benchmark trace with an
+//! in-memory [`TimelineSink`], then writes two CSVs under `--out`:
+//!
+//! * `timeline_<bench>_<model>.csv` — one row per router per epoch:
+//!   mode, IBU, off-fraction, flit counts, and the energy spent in that
+//!   epoch split by component;
+//! * `timeline_<bench>_<model>_transitions.csv` — one row per power
+//!   transition (gate-off, wakeup start/done, mode switch) with its
+//!   tick timestamp.
+
+use dozznoc_core::{run_model_with_telemetry, ModelKind, ModelSuite};
+use dozznoc_ml::{FeatureSet, TrainedModel};
+use dozznoc_noc::TimelineSink;
+use dozznoc_topology::Topology;
+use dozznoc_traffic::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
+
+use crate::ctx::{banner, Ctx};
+use crate::suite::suite_for;
+
+fn parse_bench(name: &str) -> Benchmark {
+    ALL_BENCHMARKS
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+            panic!("unknown benchmark `{name}` (known: {})", known.join(", "))
+        })
+}
+
+/// A suite of do-nothing models for the non-ML policies, so `timeline
+/// --model baseline` does not pay for training it will never consult.
+fn untrained_suite() -> ModelSuite {
+    let zero = TrainedModel::new(FeatureSet::Reduced5, vec![0.0; 5], 500, 0.0, 0.0);
+    ModelSuite {
+        dozznoc: zero.clone(),
+        lead: zero.clone(),
+        turbo: zero,
+    }
+}
+
+/// Capture and write the time-series for one (benchmark, model) cell.
+pub fn run(ctx: &Ctx) {
+    let bench = parse_bench(ctx.bench.as_deref().unwrap_or("blackscholes"));
+    let model_name = ctx.model.as_deref().unwrap_or("dozznoc");
+    let kind = ModelKind::parse(model_name).unwrap_or_else(|| {
+        panic!("unknown model `{model_name}` (try baseline, pg, lead, dozznoc, turbo)")
+    });
+
+    banner(&format!(
+        "Timeline — {} on {} (8×8 mesh, epoch 500)",
+        kind.label(),
+        bench.name()
+    ));
+    let topo = Topology::mesh8x8();
+    let suite = if kind.uses_ml() {
+        suite_for(ctx, topo, 500, FeatureSet::Reduced5)
+    } else {
+        untrained_suite()
+    };
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(ctx.duration_ns())
+        .with_seed(ctx.seed)
+        .generate(bench);
+
+    let mut sink = TimelineSink::new();
+    let cfg = dozznoc_noc::NocConfig::paper(topo);
+    let report = run_model_with_telemetry(cfg, &trace, kind, &suite, &mut sink);
+
+    let epoch_rows: Vec<String> = sink
+        .epochs
+        .iter()
+        .map(|s| {
+            format!(
+                "{},{},{},{},{:.6},{:.6},{},{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+                s.router.idx(),
+                s.epoch,
+                s.cycles,
+                s.mode.index(),
+                s.ibu,
+                s.off_fraction,
+                s.flits_injected,
+                s.flits_ejected,
+                s.hops,
+                s.energy.static_j,
+                s.energy.dynamic_j,
+                s.energy.ml_j,
+                s.energy.transition_j,
+                s.energy.total_j(),
+            )
+        })
+        .collect();
+    ctx.write_csv(
+        &format!("timeline_{}_{}.csv", bench.name(), kind.slug()),
+        "router,epoch,cycles,mode,ibu,off_fraction,flits_injected,flits_ejected,hops,static_j,dynamic_j,ml_j,transition_j,total_j",
+        &epoch_rows,
+    );
+
+    let transition_rows: Vec<String> = sink
+        .transitions
+        .iter()
+        .map(|e| format!("{},{},{}", e.at.ticks(), e.router.idx(), e.kind.tag()))
+        .collect();
+    ctx.write_csv(
+        &format!("timeline_{}_{}_transitions.csv", bench.name(), kind.slug()),
+        "tick,router,event",
+        &transition_rows,
+    );
+
+    println!(
+        "{} epochs across {} routers, {} transitions",
+        sink.epochs.len(),
+        topo.num_routers(),
+        sink.transitions.len()
+    );
+    println!(
+        "injected {} / ejected {} flits, {:.3} µJ total ({:.1} % time gated off)",
+        sink.total_injected(),
+        sink.total_ejected(),
+        sink.total_energy_j() * 1e6,
+        report.energy.off_fraction() * 100.0
+    );
+}

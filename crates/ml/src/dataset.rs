@@ -22,7 +22,11 @@ impl Dataset {
     /// An empty dataset of dimension `dim`.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 1, "datasets need at least one feature");
-        Dataset { features: Vec::new(), labels: Vec::new(), dim }
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            dim,
+        }
     }
 
     /// Feature dimension.

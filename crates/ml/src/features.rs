@@ -286,8 +286,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: HashSet<_> =
-            FeatureSet::Full41.ids().iter().map(|f| f.name()).collect();
+        let names: HashSet<_> = FeatureSet::Full41.ids().iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 41);
     }
 }

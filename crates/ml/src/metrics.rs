@@ -56,7 +56,11 @@ pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
         .sum();
     if ss_tot == 0.0 {
         // Constant targets: perfect iff residuals vanish.
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }
@@ -65,7 +69,10 @@ pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
 /// predicted and actual utilization select the same DVFS mode.
 pub fn mode_selection_accuracy(predictions: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(predictions.len(), targets.len(), "length mismatch");
-    assert!(!predictions.is_empty(), "accuracy of empty slices is undefined");
+    assert!(
+        !predictions.is_empty(),
+        "accuracy of empty slices is undefined"
+    );
     let hits = predictions
         .iter()
         .zip(targets)

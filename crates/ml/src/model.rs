@@ -42,7 +42,13 @@ impl TrainedModel {
             feature_set.len(),
             "weight count does not match feature set"
         );
-        TrainedModel { feature_set, weights, epoch_cycles, lambda, validation_mse }
+        TrainedModel {
+            feature_set,
+            weights,
+            epoch_cycles,
+            lambda,
+            validation_mse,
+        }
     }
 
     /// Predict the label (future input-buffer utilization) for a feature
@@ -61,8 +67,7 @@ impl TrainedModel {
 
     /// Deserialize from JSON, validating the weight/feature binding.
     pub fn from_json(json: &str) -> Result<TrainedModel, String> {
-        let model: TrainedModel =
-            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let model: TrainedModel = serde_json::from_str(json).map_err(|e| e.to_string())?;
         if model.weights.len() != model.feature_set.len() {
             return Err(format!(
                 "weight count {} does not match feature set {} ({} features)",

@@ -44,7 +44,13 @@ impl RecursiveLeastSquares {
         for i in 0..dim {
             p[i * dim + i] = delta;
         }
-        RecursiveLeastSquares { weights: vec![0.0; dim], p, dim, forgetting, updates: 0 }
+        RecursiveLeastSquares {
+            weights: vec![0.0; dim],
+            p,
+            dim,
+            forgetting,
+            updates: 0,
+        }
     }
 
     /// Warm-start from offline-trained weights (the deployment story:
@@ -77,8 +83,9 @@ impl RecursiveLeastSquares {
         assert_eq!(x.len(), self.dim, "feature dimension mismatch");
         let n = self.dim;
         // px = P·x
-        let px: Vec<f64> =
-            (0..n).map(|i| dot(&self.p[i * n..(i + 1) * n], x)).collect();
+        let px: Vec<f64> = (0..n)
+            .map(|i| dot(&self.p[i * n..(i + 1) * n], x))
+            .collect();
         let denom = self.forgetting + dot(x, &px);
         let err = target - self.predict(x);
         // Gain k = px / denom; weight update.
@@ -88,8 +95,7 @@ impl RecursiveLeastSquares {
         // P ← (P − (px·pxᵀ)/denom) / λ   (symmetric rank-1 downdate).
         for i in 0..n {
             for j in 0..n {
-                self.p[i * n + j] =
-                    (self.p[i * n + j] - px[i] * px[j] / denom) / self.forgetting;
+                self.p[i * n + j] = (self.p[i * n + j] - px[i] * px[j] / denom) / self.forgetting;
             }
         }
         self.updates += 1;
@@ -163,7 +169,10 @@ mod tests {
             adaptive < frozen * 0.5,
             "adaptive {adaptive} vs frozen {frozen}"
         );
-        assert!(adaptive < 0.01, "adaptive RLS failed to re-converge: {adaptive}");
+        assert!(
+            adaptive < 0.01,
+            "adaptive RLS failed to re-converge: {adaptive}"
+        );
     }
 
     #[test]

@@ -19,8 +19,7 @@ use crate::metrics::mse;
 
 /// Default λ grid swept during validation (log-spaced, as is standard for
 /// ridge).
-pub const DEFAULT_LAMBDA_GRID: [f64; 9] =
-    [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4];
+pub const DEFAULT_LAMBDA_GRID: [f64; 9] = [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4];
 
 /// Ridge regression solver.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,7 +46,10 @@ pub struct RidgeReport {
 impl RidgeRegression {
     /// A solver with fixed λ.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "λ must be non-negative");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "λ must be non-negative"
+        );
         RidgeRegression { lambda }
     }
 
@@ -69,8 +71,7 @@ impl RidgeRegression {
                 // Rank-deficient with λ = 0: jitter the diagonal.
                 let mut g = x.gram();
                 g.add_diagonal(1e-8);
-                g.solve_spd(&rhs)
-                    .expect("jittered Gram matrix must be SPD")
+                g.solve_spd(&rhs).expect("jittered Gram matrix must be SPD")
             }
         }
     }
@@ -92,11 +93,7 @@ impl RidgeRegression {
     /// return the best model (paper: "the array of weights that produced
     /// the smallest error between the predicted label and the supplied
     /// label").
-    pub fn fit_with_validation(
-        train: &Dataset,
-        validate: &Dataset,
-        grid: &[f64],
-    ) -> RidgeReport {
+    pub fn fit_with_validation(train: &Dataset, validate: &Dataset, grid: &[f64]) -> RidgeReport {
         assert!(!grid.is_empty(), "λ grid must not be empty");
         assert_eq!(train.dim(), validate.dim(), "split dimension mismatch");
         let mut best: Option<RidgeReport> = None;
@@ -107,8 +104,7 @@ impl RidgeRegression {
             let val_pred = Self::predict(&weights, validate);
             let val_mse = mse(&val_pred, validate.labels());
             sweep.push((lambda, val_mse));
-            let better =
-                best.as_ref().is_none_or(|b| val_mse < b.validation_mse);
+            let better = best.as_ref().is_none_or(|b| val_mse < b.validation_mse);
             if better {
                 let train_pred = Self::predict(&weights, train);
                 best = Some(RidgeReport {
@@ -174,8 +170,7 @@ mod tests {
     fn validation_picks_a_sensible_lambda() {
         let train = linear_data(300, 0.2);
         let val = linear_data(100, 0.2);
-        let report =
-            RidgeRegression::fit_with_validation(&train, &val, &DEFAULT_LAMBDA_GRID);
+        let report = RidgeRegression::fit_with_validation(&train, &val, &DEFAULT_LAMBDA_GRID);
         // The winning λ must have the minimum validation MSE in the sweep.
         let min_sweep = report
             .sweep

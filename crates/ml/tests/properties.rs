@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use dozznoc_ml::{
-    mode_of_utilization, mode_selection_accuracy, mse, r_squared, Dataset, Matrix,
-    RidgeRegression,
+    mode_of_utilization, mode_selection_accuracy, mse, r_squared, Dataset, Matrix, RidgeRegression,
 };
 
 /// Strategy: a random linear problem y = w·x with optional noise.

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use dozznoc_topology::{DimOrder, Topology};
+use dozznoc_types::{ConfigError, MIN_EPOCH_CYCLES};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,11 +54,21 @@ impl NocConfig {
         }
     }
 
-    /// Override the epoch size (the §IV-B sweep).
-    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
-        assert!(epoch_cycles >= 10, "degenerate epoch");
+    /// Override the epoch size (the §IV-B sweep). Rejects epochs
+    /// shorter than [`MIN_EPOCH_CYCLES`] local cycles.
+    pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
+        if epoch_cycles < MIN_EPOCH_CYCLES {
+            return Err(ConfigError::DegenerateEpoch { epoch_cycles });
+        }
         self.epoch_cycles = epoch_cycles;
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`NocConfig::try_with_epoch_cycles`].
+    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
+    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
+        self.try_with_epoch_cycles(epoch_cycles)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Override T-Idle.
@@ -110,15 +121,32 @@ mod tests {
     #[test]
     fn builders() {
         let c = NocConfig::paper(Topology::mesh8x8())
-            .with_epoch_cycles(100)
+            .try_with_epoch_cycles(100)
+            .unwrap()
             .with_t_idle(8);
         assert_eq!(c.epoch_cycles, 100);
         assert_eq!(c.t_idle, 8);
     }
 
     #[test]
-    #[should_panic(expected = "degenerate epoch")]
     fn tiny_epoch_rejected() {
-        NocConfig::paper(Topology::mesh8x8()).with_epoch_cycles(1);
+        let err = NocConfig::paper(Topology::mesh8x8())
+            .try_with_epoch_cycles(1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            dozznoc_types::ConfigError::DegenerateEpoch { epoch_cycles: 1 }
+        );
+        // The boundary value is accepted.
+        assert!(NocConfig::paper(Topology::mesh8x8())
+            .try_with_epoch_cycles(dozznoc_types::MIN_EPOCH_CYCLES)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate epoch")]
+    fn deprecated_shim_still_panics() {
+        #[allow(deprecated)]
+        let _ = NocConfig::paper(Topology::mesh8x8()).with_epoch_cycles(1);
     }
 }

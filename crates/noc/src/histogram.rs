@@ -20,7 +20,10 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { counts: vec![0; BUCKETS], total: 0 }
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
     }
 }
 

@@ -33,6 +33,7 @@ pub mod observation;
 pub mod policy;
 pub mod router;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::NocConfig;
 pub use histogram::LatencyHistogram;
@@ -40,3 +41,4 @@ pub use network::Network;
 pub use observation::{EpochObservation, PortClassStats};
 pub use policy::{AlwaysMode, PowerPolicy};
 pub use stats::{RouterSummary, RunReport, RunStats};
+pub use telemetry::{DecisionTrace, EpochSample, JsonlSink, NullSink, Telemetry, TimelineSink};

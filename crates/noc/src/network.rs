@@ -22,10 +22,14 @@
 //! the target mode's T-Wakeup; active-mode switches pay T-Switch;
 //! off-residencies shorter than T-Breakeven are counted as violations.
 
-use dozznoc_power::{EnergyLedger, MlOverhead, TransitionEnergy, VfTable};
+use dozznoc_power::{
+    EnergyDelta, EnergyLedger, MlOverhead, RouterEnergy, TransitionEnergy, VfTable,
+};
 use dozznoc_topology::{Port, Topology, XyRouter};
 use dozznoc_traffic::Trace;
-use dozznoc_types::{Flit, FlitKind, Mode, PowerState, RouterId, SimTime};
+use dozznoc_types::{
+    Flit, FlitKind, Mode, PowerState, RouterId, SimTime, TransitionEvent, TransitionKind,
+};
 
 use std::collections::VecDeque;
 
@@ -34,6 +38,7 @@ use crate::config::NocConfig;
 use crate::policy::PowerPolicy;
 use crate::router::{port_class, Router};
 use crate::stats::{RunReport, RunStats};
+use crate::telemetry::{NullSink, Telemetry};
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +56,10 @@ impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::Livelock { in_flight } => {
-                write!(f, "simulation hit max_ticks with {in_flight} flits in flight")
+                write!(
+                    f,
+                    "simulation hit max_ticks with {in_flight} flits in flight"
+                )
             }
         }
     }
@@ -78,6 +86,16 @@ pub struct Network {
     /// Tick each packet's head flit entered the network (dense by
     /// `PacketId`; `u64::MAX` = not yet entered).
     net_entry: Vec<u64>,
+    /// Telemetry fast path: `false` (the default) skips every hook and
+    /// all bookkeeping behind them.
+    tel_enabled: bool,
+    /// Transition events buffered for the sink (inner helpers fill
+    /// this; the main loop drains it once per tick, so the sink does
+    /// not need to be threaded through every state-machine helper).
+    events: Vec<TransitionEvent>,
+    /// Ledger snapshot at each router's previous epoch boundary
+    /// (allocated only when telemetry is enabled).
+    energy_prev: Vec<RouterEnergy>,
 }
 
 impl Network {
@@ -90,7 +108,9 @@ impl Network {
             topo,
             xy: XyRouter::with_order(topo, cfg.routing),
             vf: VfTable::paper(),
-            routers: (0..n).map(|i| Router::new(RouterId::from(i), &cfg)).collect(),
+            routers: (0..n)
+                .map(|i| Router::new(RouterId::from(i), &cfg))
+                .collect(),
             secured: vec![0; n],
             inject: (0..topo.num_cores()).map(|_| VecDeque::new()).collect(),
             ledger: EnergyLedger::new(n),
@@ -99,6 +119,9 @@ impl Network {
             now: 0,
             in_flight: 0,
             net_entry: Vec::new(),
+            tel_enabled: false,
+            events: Vec::new(),
+            energy_prev: Vec::new(),
         }
     }
 
@@ -139,7 +162,8 @@ impl Network {
                             vc.len(),
                             vc.owner(),
                             vc.route(),
-                            vc.peek_ready(u64::MAX).map(|f| (f.packet, f.kind, f.seq, f.dst))
+                            vc.peek_ready(u64::MAX)
+                                .map(|f| (f.packet, f.kind, f.seq, f.dst))
                         );
                     }
                 }
@@ -148,10 +172,21 @@ impl Network {
     }
 
     /// Run `trace` under `policy` to completion and report.
-    pub fn run(
+    pub fn run(self, trace: &Trace, policy: &mut dyn PowerPolicy) -> Result<RunReport, SimError> {
+        self.run_with_telemetry(trace, policy, &mut NullSink)
+    }
+
+    /// Run `trace` under `policy`, streaming per-epoch observations,
+    /// power-state transitions and run lifecycle events into `tel`.
+    ///
+    /// With a disabled sink ([`NullSink`], or any sink whose
+    /// [`Telemetry::is_enabled`] returns `false`) this is exactly
+    /// [`Network::run`]: no snapshots are kept and no hooks fire.
+    pub fn run_with_telemetry(
         mut self,
         trace: &Trace,
         policy: &mut dyn PowerPolicy,
+        tel: &mut dyn Telemetry,
     ) -> Result<RunReport, SimError> {
         assert_eq!(
             trace.num_cores,
@@ -162,12 +197,15 @@ impl Network {
         self.net_entry = vec![u64::MAX; packets.len()];
         let mut next_pkt = 0usize;
         let ml_overhead = policy.ml_features().map(MlOverhead::for_features);
+        self.tel_enabled = tel.is_enabled();
+        if self.tel_enabled {
+            self.energy_prev = vec![RouterEnergy::default(); self.routers.len()];
+            tel.on_run_start(&self.cfg, policy.name(), &trace.name);
+        }
 
         loop {
             // Admit packets whose injection time has arrived.
-            while next_pkt < packets.len()
-                && packets[next_pkt].inject_time.ticks() <= self.now
-            {
+            while next_pkt < packets.len() && packets[next_pkt].inject_time.ticks() <= self.now {
                 let p = &packets[next_pkt];
                 self.stats.packets_injected += 1;
                 self.in_flight += p.flit_count() as u64;
@@ -201,9 +239,17 @@ impl Network {
             // Fire every router whose local cycle lands on this tick.
             for i in 0..self.routers.len() {
                 if self.routers[i].next_cycle_at == self.now {
-                    self.step_router(i, policy, ml_overhead.as_ref());
+                    self.step_router(i, policy, ml_overhead.as_ref(), tel);
                     let r = &mut self.routers[i];
                     r.next_cycle_at = self.now + r.divisor();
+                }
+            }
+
+            // Deliver the transitions this tick produced (admissions
+            // included) in one batch; events carry their own timestamps.
+            if self.tel_enabled && !self.events.is_empty() {
+                for e in self.events.drain(..) {
+                    tel.on_transition(&e);
                 }
             }
 
@@ -214,7 +260,9 @@ impl Network {
                 if std::env::var_os("DOZZNOC_DUMP_ON_LIVELOCK").is_some() {
                     self.dump_state();
                 }
-                return Err(SimError::Livelock { in_flight: self.in_flight });
+                return Err(SimError::Livelock {
+                    in_flight: self.in_flight,
+                });
             }
 
             // Jump straight to the next event: the earliest router cycle
@@ -239,6 +287,24 @@ impl Network {
             r.state_since = now;
         }
 
+        // Flush each router's final partial epoch to the sink so
+        // per-epoch sums (flits, energy) conserve against run totals.
+        // A zero-cycle tail still flushes if the residual residency
+        // billed anything since the last boundary snapshot.
+        if self.tel_enabled {
+            for i in 0..self.routers.len() {
+                let id = self.routers[i].id;
+                let cur = *self.ledger.router(id);
+                let delta = cur.delta_since(&self.energy_prev[i]);
+                if self.routers[i].counters.cycles == 0 && delta == EnergyDelta::default() {
+                    continue;
+                }
+                let obs = self.routers[i].end_epoch(self.now.max(1));
+                self.energy_prev[i] = cur;
+                tel.on_epoch(id, &obs, self.routers[i].selected_mode, &delta);
+            }
+        }
+
         let per_router = self
             .ledger
             .routers()
@@ -251,14 +317,18 @@ impl Network {
                 wakeups: e.wakeups,
             })
             .collect();
-        Ok(RunReport {
+        let report = RunReport {
             policy: policy.name().to_string(),
             trace: trace.name.clone(),
             finished_at: now,
             stats: self.stats,
             energy: self.ledger.report(),
             per_router,
-        })
+        };
+        if self.tel_enabled {
+            tel.on_run_end(&report);
+        }
+        Ok(report)
     }
 
     /// One local cycle of router `i`.
@@ -267,6 +337,7 @@ impl Network {
         i: usize,
         policy: &mut dyn PowerPolicy,
         ml_overhead: Option<&MlOverhead>,
+        tel: &mut dyn Telemetry,
     ) {
         match self.routers[i].state {
             PowerState::Inactive => {
@@ -307,6 +378,26 @@ impl Network {
             if let Some(oh) = ml_overhead {
                 self.ledger.bill_label(self.routers[i].id, oh);
             }
+            if self.tel_enabled {
+                // Settle residency billing up to this boundary so the
+                // delta carries the epoch's static energy (residency is
+                // otherwise only billed at state transitions). The
+                // epoch's delta excludes the T-Switch this decision may
+                // cost below — that bills to the epoch it stalls.
+                let now = SimTime::from_ticks(self.now);
+                let r = &mut self.routers[i];
+                self.ledger
+                    .bill_residency(r.id, r.state, now.since(r.state_since));
+                r.state_since = now;
+                let id = r.id;
+                let cur = *self.ledger.router(id);
+                let delta = cur.delta_since(&self.energy_prev[i]);
+                self.energy_prev[i] = cur;
+                if let Some(d) = policy.decision_trace() {
+                    tel.on_decision(id, d, mode);
+                }
+                tel.on_epoch(id, &obs, mode, &delta);
+            }
             self.apply_mode(i, mode);
         }
     }
@@ -321,7 +412,8 @@ impl Network {
                 let stall = self.vf.timings(mode).t_switch();
                 self.routers[i].stall_until = self.now + stall.ticks();
                 let id = self.routers[i].id;
-                self.ledger.bill_transition(id, self.transition.mode_switch_j(cur, mode));
+                self.ledger
+                    .bill_transition(id, self.transition.mode_switch_j(cur, mode));
             }
         }
     }
@@ -332,7 +424,9 @@ impl Network {
         let router_id = self.routers[i].id;
         let cores: Vec<_> = self.topo.cores_of_router(router_id).collect();
         for (slot, core) in cores.into_iter().enumerate() {
-            let Some(&flit) = self.inject[core.idx()].front() else { continue };
+            let Some(&flit) = self.inject[core.idx()].front() else {
+                continue;
+            };
             let port_idx = Port::Local(slot as u8).index();
             let r = &mut self.routers[i];
             let divisor = r.divisor();
@@ -451,7 +545,10 @@ impl Network {
     /// Try to move the head flit of `(port, vc)` through the switch.
     /// Returns false when blocked on downstream state or space.
     fn try_send(&mut self, i: usize, port: usize, vc: usize) -> bool {
-        let route = *self.routers[i].ports[port].vc(vc).route().expect("routed VC");
+        let route = *self.routers[i].ports[port]
+            .vc(vc)
+            .route()
+            .expect("routed VC");
         match route.out_port {
             Port::Local(_) => {
                 self.eject(i, port, vc, route.out_port);
@@ -462,8 +559,7 @@ impl Network {
                     .next_router
                     .expect("direction routes have a downstream router")
                     .idx();
-                if !self.routers[d].state.is_operational()
-                    || self.now < self.routers[d].stall_until
+                if !self.routers[d].state.is_operational() || self.now < self.routers[d].stall_until
                 {
                     return false;
                 }
@@ -489,7 +585,10 @@ impl Network {
                         None => return false, // head not yet sent
                     }
                 };
-                if !self.routers[d].ports[down_port].vc(down_vc as usize).has_space() {
+                if !self.routers[d].ports[down_port]
+                    .vc(down_vc as usize)
+                    .has_space()
+                {
                     return false;
                 }
                 // Move the flit.
@@ -498,9 +597,8 @@ impl Network {
                     PowerState::Active(m) => m,
                     _ => unreachable!("only active routers allocate"),
                 };
-                let ready = self.now
-                    + 1
-                    + (self.cfg.pipeline_cycles - 1) * self.routers[d].divisor();
+                let ready =
+                    self.now + 1 + (self.cfg.pipeline_cycles - 1) * self.routers[d].divisor();
                 self.routers[d].ports[down_port]
                     .vc_mut(down_vc as usize)
                     .push(flit, ready);
@@ -555,8 +653,7 @@ impl Network {
             debug_assert_ne!(entered, u64::MAX, "delivered before entering?");
             let net_latency = self.now.saturating_sub(entered);
             self.stats.net_latency_sum_ticks += net_latency as u128;
-            self.stats.net_latency_max_ticks =
-                self.stats.net_latency_max_ticks.max(net_latency);
+            self.stats.net_latency_max_ticks = self.stats.net_latency_max_ticks.max(net_latency);
             self.stats.net_latency_hist.record(net_latency);
             self.stats.last_delivery = SimTime::from_ticks(self.now);
         }
@@ -622,7 +719,8 @@ impl Network {
         self.routers[i].lifetime_wakeups += 1;
         let id = self.routers[i].id;
         self.ledger.note_wakeup(id);
-        self.ledger.bill_transition(id, self.transition.wakeup_j(target));
+        self.ledger
+            .bill_transition(id, self.transition.wakeup_j(target));
         // The heartbeat must check `until` promptly.
         let r = &mut self.routers[i];
         r.next_cycle_at = r.next_cycle_at.min(self.now + r.divisor());
@@ -632,7 +730,30 @@ impl Network {
     fn transition(&mut self, i: usize, new_state: PowerState) {
         let now = SimTime::from_ticks(self.now);
         let r = &mut self.routers[i];
-        self.ledger.bill_residency(r.id, r.state, now.since(r.state_since));
+        self.ledger
+            .bill_residency(r.id, r.state, now.since(r.state_since));
+        if self.tel_enabled {
+            let kind = match (r.state, new_state) {
+                (_, PowerState::Inactive) => Some(TransitionKind::GateOff),
+                (_, PowerState::Wakeup { target, .. }) => {
+                    Some(TransitionKind::WakeupStart { target })
+                }
+                (PowerState::Wakeup { .. }, PowerState::Active(mode)) => {
+                    Some(TransitionKind::WakeupDone { mode })
+                }
+                (PowerState::Active(from), PowerState::Active(to)) if from != to => {
+                    Some(TransitionKind::ModeSwitch { from, to })
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                self.events.push(TransitionEvent {
+                    at: now,
+                    router: r.id,
+                    kind,
+                });
+            }
+        }
         r.state = new_state;
         r.state_since = now;
     }
@@ -661,7 +782,9 @@ mod tests {
     }
 
     fn run(trace: &Trace, policy: &mut dyn PowerPolicy) -> RunReport {
-        Network::new(mesh_cfg()).run(trace, policy).expect("run completes")
+        Network::new(mesh_cfg())
+            .run(trace, policy)
+            .expect("run completes")
     }
 
     #[test]
@@ -773,7 +896,12 @@ mod tests {
         let mut pkts = Vec::new();
         for s in 0..32u16 {
             for k in 0..4 {
-                pkts.push(packet(s, 63 - s, PacketKind::Response, 1.0 + k as f64 * 3.0));
+                pkts.push(packet(
+                    s,
+                    63 - s,
+                    PacketKind::Response,
+                    1.0 + k as f64 * 3.0,
+                ));
             }
         }
         let t = Trace::new("burst", 64, pkts);

@@ -108,7 +108,9 @@ impl EpochObservation {
             self.stall_fraction,
             self.credit_stall_fraction,
         ];
-        fracs.iter().all(|f| (0.0..=1.0).contains(f) && f.is_finite())
+        fracs
+            .iter()
+            .all(|f| (0.0..=1.0).contains(f) && f.is_finite())
             && self.port_classes.iter().all(|p| {
                 (0.0..=1.0).contains(&p.occupancy) && (0.0..=1.0).contains(&p.link_utilization)
             })

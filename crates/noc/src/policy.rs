@@ -10,6 +10,7 @@
 use dozznoc_types::{Mode, RouterId};
 
 use crate::observation::EpochObservation;
+use crate::telemetry::DecisionTrace;
 
 /// A power-management policy driving one simulation run.
 ///
@@ -35,6 +36,15 @@ pub trait PowerPolicy {
         None
     }
 
+    /// The feature vector and prediction behind the most recent
+    /// `select_mode` call, for telemetry. Non-ML policies (and policies
+    /// that do not care to trace) return `None`; the network forwards a
+    /// `Some` to [`Telemetry::on_decision`](crate::Telemetry::on_decision)
+    /// right after each epoch decision.
+    fn decision_trace(&self) -> Option<&DecisionTrace> {
+        None
+    }
+
     /// Display name for reports.
     fn name(&self) -> &str;
 }
@@ -52,7 +62,11 @@ pub struct AlwaysMode {
 impl AlwaysMode {
     /// A policy that always runs routers at `mode`.
     pub fn new(mode: Mode) -> Self {
-        AlwaysMode { mode, gating: false, name: format!("always-{}", mode.index()) }
+        AlwaysMode {
+            mode,
+            gating: false,
+            name: format!("always-{}", mode.index()),
+        }
     }
 
     /// Enable power gating.
@@ -84,7 +98,10 @@ mod tests {
     #[test]
     fn always_mode_is_constant() {
         let mut p = AlwaysMode::new(Mode::M5);
-        let obs = EpochObservation { cycles: 500, ..Default::default() };
+        let obs = EpochObservation {
+            cycles: 500,
+            ..Default::default()
+        };
         assert_eq!(p.select_mode(RouterId(0), &obs), Mode::M5);
         assert_eq!(p.select_mode(RouterId(9), &obs), Mode::M5);
         assert!(!p.gating_enabled());

@@ -233,8 +233,7 @@ impl Router {
             pc.occupancy = c.class_occupancy[i] as f64 / (cyc * class_cap);
             pc.flits_in = c.flits_in[i] as f64 / cyc;
             pc.flits_out = c.flits_out[i] as f64 / cyc;
-            pc.link_utilization =
-                (c.class_busy_cycles[i] as f64 / (cyc * n_ports)).min(1.0);
+            pc.link_utilization = (c.class_busy_cycles[i] as f64 / (cyc * n_ports)).min(1.0);
         }
 
         let epoch_ticks = (cycles * self.divisor()).max(1) as f64;
@@ -252,8 +251,7 @@ impl Router {
             reqs_recv: c.reqs_recv as f64 / cyc,
             resps_sent: c.resps_sent as f64 / cyc,
             resps_recv: c.resps_recv as f64 / cyc,
-            total_off_fraction: self.total_off_ticks as f64
-                / total_elapsed_ticks.max(1) as f64,
+            total_off_fraction: self.total_off_ticks as f64 / total_elapsed_ticks.max(1) as f64,
             epoch_off_fraction: (c.off_ticks as f64 / epoch_ticks).min(1.0),
             wakeup_rate: (self.lifetime_wakeups as f64 / epochs_elapsed).min(1.0),
             gate_off_rate: (self.lifetime_gate_offs as f64 / epochs_elapsed).min(1.0),
@@ -305,7 +303,10 @@ mod tests {
         let mut r = router();
         r.state = PowerState::Inactive;
         assert_eq!(r.divisor(), Mode::M3.divisor());
-        r.state = PowerState::Wakeup { target: Mode::M6, until: SimTime::ZERO };
+        r.state = PowerState::Wakeup {
+            target: Mode::M6,
+            until: SimTime::ZERO,
+        };
         assert_eq!(r.divisor(), Mode::M6.divisor());
     }
 

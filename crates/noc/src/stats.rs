@@ -129,21 +129,22 @@ impl RunReport {
 
     /// Dynamic energy (incl. ML overhead) relative to another run.
     pub fn dynamic_energy_vs(&self, baseline: &RunReport) -> f64 {
-        self.energy.dynamic_with_ml_j()
-            / baseline.energy.dynamic_with_ml_j().max(f64::MIN_POSITIVE)
+        self.energy.dynamic_with_ml_j() / baseline.energy.dynamic_with_ml_j().max(f64::MIN_POSITIVE)
     }
 
     /// Throughput relative to another run.
     pub fn throughput_vs(&self, baseline: &RunReport) -> f64 {
         self.stats.throughput_flits_per_ns()
-            / baseline.stats.throughput_flits_per_ns().max(f64::MIN_POSITIVE)
+            / baseline
+                .stats
+                .throughput_flits_per_ns()
+                .max(f64::MIN_POSITIVE)
     }
 
     /// Mean *network* latency relative to another run (the paper's
     /// latency metric).
     pub fn latency_vs(&self, baseline: &RunReport) -> f64 {
-        self.stats.avg_net_latency_ns()
-            / baseline.stats.avg_net_latency_ns().max(f64::MIN_POSITIVE)
+        self.stats.avg_net_latency_ns() / baseline.stats.avg_net_latency_ns().max(f64::MIN_POSITIVE)
     }
 
     /// Mean end-to-end latency (incl. source queueing) relative to
@@ -183,7 +184,10 @@ mod tests {
 
     #[test]
     fn mode_distribution_normalizes() {
-        let s = RunStats { mode_selections: [1, 0, 1, 0, 2], ..Default::default() };
+        let s = RunStats {
+            mode_selections: [1, 0, 1, 0, 2],
+            ..Default::default()
+        };
         let d = s.mode_distribution();
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((d[4] - 0.5).abs() < 1e-12);

@@ -33,10 +33,20 @@ impl PowerPolicy for Alternator {
 fn mode_switches_pay_but_do_not_lose_packets() {
     // Spread injections over many epochs so switches happen mid-traffic.
     let pkts = (0..50)
-        .map(|k| packet(k % 64, (k + 31) % 64, PacketKind::Request, 10.0 + k as f64 * 120.0))
+        .map(|k| {
+            packet(
+                k % 64,
+                (k + 31) % 64,
+                PacketKind::Request,
+                10.0 + k as f64 * 120.0,
+            )
+        })
         .collect();
     let trace = Trace::new("alt", 64, pkts);
-    let mut policy = Alternator { modes: [Mode::M3, Mode::M7], epoch: 0 };
+    let mut policy = Alternator {
+        modes: [Mode::M3, Mode::M7],
+        epoch: 0,
+    };
     let r = Network::new(cfg()).run(&trace, &mut policy).unwrap();
     assert_eq!(r.stats.packets_delivered, 50);
     // Both modes were selected.
@@ -49,7 +59,9 @@ fn mode_switches_pay_but_do_not_lose_packets() {
 #[test]
 fn transition_energy_absent_without_mode_changes_or_gating() {
     let trace = Trace::new("still", 64, vec![packet(0, 9, PacketKind::Request, 1.0)]);
-    let r = Network::new(cfg()).run(&trace, &mut AlwaysMode::new(Mode::M7)).unwrap();
+    let r = Network::new(cfg())
+        .run(&trace, &mut AlwaysMode::new(Mode::M7))
+        .unwrap();
     assert_eq!(r.energy.transition_j, 0.0);
     assert_eq!(r.energy.wakeups, 0);
 }
@@ -158,7 +170,10 @@ fn disabling_wake_punch_still_delivers() {
     let unpunched = Network::new(NocConfig::paper(topo).without_wake_punch())
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
         .unwrap();
-    assert_eq!(punched.stats.packets_delivered, unpunched.stats.packets_delivered);
+    assert_eq!(
+        punched.stats.packets_delivered,
+        unpunched.stats.packets_delivered
+    );
     // Without punching, wake-ups happen closer to the packet (look-ahead
     // only), so the *punched* run wakes at least as many routers.
     assert!(punched.energy.wakeups >= unpunched.energy.wakeups);
@@ -175,7 +190,9 @@ fn deeper_pipelines_are_slower_but_lossless() {
         .unwrap();
     let mut deep_cfg = NocConfig::paper(topo);
     deep_cfg.pipeline_cycles = 5;
-    let deep = Network::new(deep_cfg).run(&trace, &mut AlwaysMode::new(Mode::M7)).unwrap();
+    let deep = Network::new(deep_cfg)
+        .run(&trace, &mut AlwaysMode::new(Mode::M7))
+        .unwrap();
     assert_eq!(deep.stats.packets_delivered, 1);
     assert!(
         deep.stats.avg_net_latency_ns() > shallow.stats.avg_net_latency_ns() * 1.5,
@@ -196,7 +213,5 @@ fn histogram_totals_match_delivered_packets() {
         .unwrap();
     assert_eq!(r.stats.net_latency_hist.total(), r.stats.packets_delivered);
     // P100 bound dominates the recorded max.
-    assert!(
-        r.stats.net_latency_hist.percentile_ticks(1.0) >= r.stats.net_latency_max_ticks
-    );
+    assert!(r.stats.net_latency_hist.percentile_ticks(1.0) >= r.stats.net_latency_max_ticks);
 }

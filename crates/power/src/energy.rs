@@ -54,7 +54,49 @@ pub struct RouterEnergy {
     pub breakeven_violations: u64,
 }
 
+/// Energy and event deltas between two ledger snapshots of one router —
+/// what telemetry reports per epoch ("how much did this epoch cost").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyDelta {
+    /// Leakage energy billed over the interval, joules.
+    pub static_j: f64,
+    /// Traffic energy billed over the interval, joules.
+    pub dynamic_j: f64,
+    /// ML label-generation energy billed over the interval, joules.
+    pub ml_j: f64,
+    /// Rail-transition energy billed over the interval, joules.
+    pub transition_j: f64,
+    /// Flit-hops billed over the interval.
+    pub flit_hops: u64,
+    /// Wake-up events over the interval.
+    pub wakeups: u64,
+    /// Gate-off events over the interval.
+    pub gate_offs: u64,
+}
+
+impl EnergyDelta {
+    /// Total NoC energy over the interval (static + dynamic + ML;
+    /// transition energy reported separately, as in the paper).
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j + self.ml_j
+    }
+}
+
 impl RouterEnergy {
+    /// The energy billed between snapshot `prev` and `self` (two
+    /// observations of the same router's ledger entry, `prev` earlier).
+    pub fn delta_since(&self, prev: &RouterEnergy) -> EnergyDelta {
+        EnergyDelta {
+            static_j: self.static_j - prev.static_j,
+            dynamic_j: self.dynamic_j - prev.dynamic_j,
+            ml_j: self.ml_j - prev.ml_j,
+            transition_j: self.transition_j - prev.transition_j,
+            flit_hops: self.flit_hops - prev.flit_hops,
+            wakeups: self.wakeups - prev.wakeups,
+            gate_offs: self.gate_offs - prev.gate_offs,
+        }
+    }
+
     /// Total residency across all states.
     pub fn total_time(&self) -> TickDelta {
         let mut t = self.time_wakeup + self.time_inactive;
@@ -96,7 +138,11 @@ impl EnergyLedger {
 
     /// A ledger with custom costs (for ablations).
     pub fn with_costs(num_routers: usize, costs: DsentCosts) -> Self {
-        EnergyLedger { costs, simo: SimoRegulator::default(), routers: vec![RouterEnergy::default(); num_routers] }
+        EnergyLedger {
+            costs,
+            simo: SimoRegulator::default(),
+            routers: vec![RouterEnergy::default(); num_routers],
+        }
     }
 
     /// The cost table in force.
@@ -193,8 +239,7 @@ impl EnergyLedger {
             // Wall energy: what the battery supplies once regulator
             // losses are applied per operating voltage.
             for (i, m) in ACTIVE_MODES.iter().enumerate() {
-                let static_at_mode =
-                    self.costs.static_power_w(*m) * e.time_active[i].as_secs();
+                let static_at_mode = self.costs.static_power_w(*m) * e.time_active[i].as_secs();
                 r.wall_static_j += static_at_mode / self.simo.efficiency_at(*m);
             }
             // Wakeup residency is billed at the target mode, which we do
@@ -280,14 +325,25 @@ mod tests {
     const SEC: u64 = 18_000_000_000; // one second of base ticks
 
     fn wake(target: Mode) -> PowerState {
-        PowerState::Wakeup { target, until: SimTime::ZERO }
+        PowerState::Wakeup {
+            target,
+            until: SimTime::ZERO,
+        }
     }
 
     #[test]
     fn residency_billing_uses_table_v() {
         let mut l = EnergyLedger::new(2);
-        l.bill_residency(RouterId(0), PowerState::Active(Mode::M7), TickDelta::from_ticks(SEC));
-        l.bill_residency(RouterId(1), PowerState::Active(Mode::M3), TickDelta::from_ticks(SEC));
+        l.bill_residency(
+            RouterId(0),
+            PowerState::Active(Mode::M7),
+            TickDelta::from_ticks(SEC),
+        );
+        l.bill_residency(
+            RouterId(1),
+            PowerState::Active(Mode::M3),
+            TickDelta::from_ticks(SEC),
+        );
         assert!((l.router(RouterId(0)).static_j - 0.054).abs() < 1e-9);
         assert!((l.router(RouterId(1)).static_j - 0.036).abs() < 1e-9);
     }
@@ -295,7 +351,11 @@ mod tests {
     #[test]
     fn inactive_draws_nothing() {
         let mut l = EnergyLedger::new(1);
-        l.bill_residency(RouterId(0), PowerState::Inactive, TickDelta::from_ticks(SEC));
+        l.bill_residency(
+            RouterId(0),
+            PowerState::Inactive,
+            TickDelta::from_ticks(SEC),
+        );
         assert_eq!(l.router(RouterId(0)).static_j, 0.0);
         assert_eq!(l.router(RouterId(0)).time_inactive.ticks(), SEC);
         assert!((l.router(RouterId(0)).off_fraction() - 1.0).abs() < 1e-12);
@@ -344,7 +404,11 @@ mod tests {
     fn report_aggregates_all_routers() {
         let mut l = EnergyLedger::new(3);
         for i in 0..3u16 {
-            l.bill_residency(RouterId(i), PowerState::Active(Mode::M7), TickDelta::from_ticks(SEC));
+            l.bill_residency(
+                RouterId(i),
+                PowerState::Active(Mode::M7),
+                TickDelta::from_ticks(SEC),
+            );
             l.bill_hop(RouterId(i), Mode::M7);
         }
         l.note_wakeup(RouterId(0));
@@ -364,7 +428,11 @@ mod tests {
         // Regulator losses mean the battery supplies more than the NoC
         // consumes.
         let mut l = EnergyLedger::new(1);
-        l.bill_residency(RouterId(0), PowerState::Active(Mode::M4), TickDelta::from_ticks(SEC));
+        l.bill_residency(
+            RouterId(0),
+            PowerState::Active(Mode::M4),
+            TickDelta::from_ticks(SEC),
+        );
         let r = l.report();
         assert!(r.wall_static_j > r.static_j);
         // …but by no more than the worst-case regulator inefficiency.
@@ -376,9 +444,21 @@ mod tests {
         // A router active half the time and gated half the time spends
         // half the static energy of an always-active one.
         let mut l = EnergyLedger::new(2);
-        l.bill_residency(RouterId(0), PowerState::Active(Mode::M7), TickDelta::from_ticks(SEC));
-        l.bill_residency(RouterId(1), PowerState::Active(Mode::M7), TickDelta::from_ticks(SEC / 2));
-        l.bill_residency(RouterId(1), PowerState::Inactive, TickDelta::from_ticks(SEC / 2));
+        l.bill_residency(
+            RouterId(0),
+            PowerState::Active(Mode::M7),
+            TickDelta::from_ticks(SEC),
+        );
+        l.bill_residency(
+            RouterId(1),
+            PowerState::Active(Mode::M7),
+            TickDelta::from_ticks(SEC / 2),
+        );
+        l.bill_residency(
+            RouterId(1),
+            PowerState::Inactive,
+            TickDelta::from_ticks(SEC / 2),
+        );
         let always = l.router(RouterId(0)).static_j;
         let gated = l.router(RouterId(1)).static_j;
         assert!((gated / always - 0.5).abs() < 1e-9);

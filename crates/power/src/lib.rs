@@ -24,12 +24,12 @@ pub mod transition;
 pub mod vf;
 
 pub use dsent::DsentCosts;
-pub use energy::{EnergyLedger, EnergyReport, RouterEnergy};
+pub use energy::{EnergyDelta, EnergyLedger, EnergyReport, RouterEnergy};
 pub use overhead::MlOverhead;
-pub use transition::TransitionEnergy;
 pub use regulator::delay::SwitchDelayTable;
 pub use regulator::efficiency::{baseline_efficiency, simo_efficiency, EfficiencyCurve};
 pub use regulator::ldo::Ldo;
 pub use regulator::simo::SimoRegulator;
 pub use regulator::waveform::Transient;
+pub use transition::TransitionEnergy;
 pub use vf::{ModeTimings, VfTable};

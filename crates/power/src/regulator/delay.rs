@@ -70,7 +70,8 @@ impl SwitchDelayTable {
         SwitchDelayTable {
             ns: [
                 //      PG   0.8V  0.9V  1.0V  1.1V  1.2V
-                /*PG */ [0.0, 8.5, 8.7, 8.7, 8.7, 8.8],
+                /*PG */
+                [0.0, 8.5, 8.7, 8.7, 8.7, 8.8],
                 /*0.8*/ [8.5, 0.0, 4.2, 5.5, 6.2, 6.7],
                 /*0.9*/ [8.7, 4.2, 0.0, 4.4, 5.5, 6.3],
                 /*1.0*/ [8.7, 5.5, 4.4, 0.0, 4.3, 5.5],

@@ -89,7 +89,10 @@ impl EfficiencyCurve {
 
     /// Mean absolute improvement across the sampled points.
     pub fn mean_improvement(&self) -> f64 {
-        self.points.iter().map(EfficiencyPoint::improvement).sum::<f64>()
+        self.points
+            .iter()
+            .map(EfficiencyPoint::improvement)
+            .sum::<f64>()
             / self.points.len() as f64
     }
 
@@ -139,7 +142,10 @@ mod tests {
         // Paper: "maximum efficiency increase of almost 25% at 0.9 V".
         let curve = EfficiencyCurve::paper_comparison_points();
         let (gain, at) = curve.max_improvement();
-        assert!((at - 0.9).abs() < 1e-9, "max improvement at {at} V, expected 0.9 V");
+        assert!(
+            (at - 0.9).abs() < 1e-9,
+            "max improvement at {at} V, expected 0.9 V"
+        );
         assert!((0.20..0.25).contains(&gain), "gain {gain} not 'almost 25%'");
     }
 

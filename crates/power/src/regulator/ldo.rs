@@ -61,7 +61,10 @@ impl Ldo {
 
     /// The power-gated configuration: input and output both grounded.
     pub fn gated() -> Self {
-        Ldo { vin: 0.0, vout: 0.0 }
+        Ldo {
+            vin: 0.0,
+            vout: 0.0,
+        }
     }
 }
 

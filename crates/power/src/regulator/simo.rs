@@ -49,7 +49,9 @@ pub struct SimoRegulator {
 
 impl Default for SimoRegulator {
     fn default() -> Self {
-        SimoRegulator { stage_efficiency: SIMO_STAGE_EFFICIENCY }
+        SimoRegulator {
+            stage_efficiency: SIMO_STAGE_EFFICIENCY,
+        }
     }
 }
 

@@ -62,7 +62,11 @@ impl Transient {
         // Settling time scales exactly as 1/ωn: measure it once for
         // ωn = 1 and scale.
         let omega_n = unit_settling_time() / settle_ns;
-        Transient { v_from, v_to, omega_n }
+        Transient {
+            v_from,
+            v_to,
+            omega_n,
+        }
     }
 
     /// Output voltage `t_ns` nanoseconds after the transition begins.

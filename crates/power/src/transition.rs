@@ -38,7 +38,9 @@ pub const DEFAULT_CAPACITANCE_F: f64 = 0.30e-9;
 
 impl Default for TransitionEnergy {
     fn default() -> Self {
-        TransitionEnergy { capacitance_f: DEFAULT_CAPACITANCE_F }
+        TransitionEnergy {
+            capacitance_f: DEFAULT_CAPACITANCE_F,
+        }
     }
 }
 
@@ -99,8 +101,10 @@ mod tests {
         // order-of-magnitude C at every mode (within ~2.5× of the
         // geometric mean) — evidence the tables are mutually consistent
         // and our calibration is not cherry-picked.
-        let cs: Vec<f64> =
-            ACTIVE_MODES.iter().map(|&m| TransitionEnergy::implied_capacitance_f(m)).collect();
+        let cs: Vec<f64> = ACTIVE_MODES
+            .iter()
+            .map(|&m| TransitionEnergy::implied_capacitance_f(m))
+            .collect();
         let mean = cs.iter().map(|c| c.ln()).sum::<f64>() / cs.len() as f64;
         let mean = mean.exp();
         for (m, c) in ACTIVE_MODES.iter().zip(&cs) {
@@ -154,8 +158,7 @@ mod tests {
         for m in ACTIVE_MODES {
             let c = TransitionEnergy::new(TransitionEnergy::implied_capacitance_f(m));
             let wake = c.wakeup_j(m);
-            let breakeven_leakage =
-                vf.timings(m).t_breakeven().as_secs() * costs.static_power_w(m);
+            let breakeven_leakage = vf.timings(m).t_breakeven().as_secs() * costs.static_power_w(m);
             assert!(
                 (wake / breakeven_leakage - 1.0).abs() < 1e-9,
                 "{m:?}: {wake:.3e} vs {breakeven_leakage:.3e}"

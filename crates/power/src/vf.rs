@@ -12,9 +12,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use dozznoc_types::{Mode, TickDelta};
 #[cfg(test)]
 use dozznoc_types::ACTIVE_MODES;
+use dozznoc_types::{Mode, TickDelta};
 
 /// Worst-case measured wake-up latency over Table II (PG → any mode).
 pub const WORST_T_WAKEUP_NS: f64 = 8.8;
@@ -82,8 +82,8 @@ impl VfTable {
         }
         VfTable {
             rows: [
-                row(Mode::M3, 7, 9, 8),   // 0.8 V / 1    GHz
-                row(Mode::M4, 11, 12, 9), // 0.9 V / 1.5  GHz
+                row(Mode::M3, 7, 9, 8),    // 0.8 V / 1    GHz
+                row(Mode::M4, 11, 12, 9),  // 0.9 V / 1.5  GHz
                 row(Mode::M5, 13, 15, 10), // 1.0 V / 1.8 GHz
                 row(Mode::M6, 14, 16, 11), // 1.1 V / 2   GHz
                 row(Mode::M7, 16, 18, 12), // 1.2 V / 2.25 GHz

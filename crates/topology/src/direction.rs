@@ -17,8 +17,12 @@ pub enum Direction {
 }
 
 /// All four directions, in port-index order.
-pub const DIR_PORTS: [Direction; 4] =
-    [Direction::North, Direction::South, Direction::East, Direction::West];
+pub const DIR_PORTS: [Direction; 4] = [
+    Direction::North,
+    Direction::South,
+    Direction::East,
+    Direction::West,
+];
 
 impl Direction {
     /// The opposite direction (the input port a flit sent this way arrives

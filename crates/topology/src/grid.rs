@@ -61,7 +61,11 @@ impl Topology {
             (width as usize) * (height as usize) * (concentration as usize) <= u16::MAX as usize,
             "core id space overflows u16"
         );
-        Topology { width, height, concentration }
+        Topology {
+            width,
+            height,
+            concentration,
+        }
     }
 
     /// The paper's 8×8 mesh: 64 routers, 64 cores.
@@ -123,7 +127,10 @@ impl Topology {
     #[inline]
     pub fn coord(&self, r: RouterId) -> Coord {
         debug_assert!(r.idx() < self.num_routers());
-        Coord { x: r.0 % self.width, y: r.0 / self.width }
+        Coord {
+            x: r.0 % self.width,
+            y: r.0 / self.width,
+        }
     }
 
     /// Router at a coordinate.
@@ -161,7 +168,10 @@ impl Topology {
         if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
             None
         } else {
-            Some(self.router_at(Coord { x: nx as u16, y: ny as u16 }))
+            Some(self.router_at(Coord {
+                x: nx as u16,
+                y: ny as u16,
+            }))
         }
     }
 
@@ -244,7 +254,10 @@ mod tests {
     fn corners_have_two_neighbors() {
         let t = Topology::mesh8x8();
         let corner = t.router_at(Coord { x: 0, y: 0 });
-        let n: Vec<_> = DIR_PORTS.iter().filter_map(|&d| t.neighbor(corner, d)).collect();
+        let n: Vec<_> = DIR_PORTS
+            .iter()
+            .filter_map(|&d| t.neighbor(corner, d))
+            .collect();
         assert_eq!(n.len(), 2);
     }
 

@@ -38,7 +38,10 @@ pub struct XyRouter {
 impl XyRouter {
     /// Create an XY router function for `topo` (the paper's default).
     pub fn new(topo: Topology) -> Self {
-        XyRouter { topo, order: DimOrder::Xy }
+        XyRouter {
+            topo,
+            order: DimOrder::Xy,
+        }
     }
 
     /// Create a router function with an explicit dimension order.
@@ -153,8 +156,7 @@ mod tests {
             let xy = XyRouter::new(topo);
             for (src, dst) in all_pairs(topo) {
                 let hops = xy.path(src, dst).count() as u32 - 1;
-                let expect =
-                    topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
+                let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
                 assert_eq!(hops, expect, "{src}->{dst}");
             }
         }
@@ -281,8 +283,7 @@ mod yx_tests {
             for d in 0..topo.num_cores() as u16 {
                 let (src, dst) = (CoreId(s), CoreId(d));
                 let hops = yx.path(src, dst).count() as u32 - 1;
-                let expect =
-                    topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
+                let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
                 assert_eq!(hops, expect);
                 assert_eq!(yx.path(src, dst).last().unwrap(), topo.router_of_core(dst));
             }
@@ -316,7 +317,10 @@ mod yx_tests {
         let xy = XyRouter::new(topo);
         let yx = XyRouter::with_order(topo, DimOrder::Yx);
         // Same row: both move east/west identically.
-        assert_eq!(xy.output_port(RouterId(0), CoreId(5)), yx.output_port(RouterId(0), CoreId(5)));
+        assert_eq!(
+            xy.output_port(RouterId(0), CoreId(5)),
+            yx.output_port(RouterId(0), CoreId(5))
+        );
         // Same column: both move north/south identically.
         assert_eq!(
             xy.output_port(RouterId(0), CoreId(40)),

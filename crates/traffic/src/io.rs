@@ -62,7 +62,11 @@ pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
     let raw: Trace = serde_json::from_str(json).map_err(|e| TraceIoError::Json(e.to_string()))?;
     // Rebuild through the validating constructor (sorting, id density,
     // range checks) so hand-edited files can't smuggle bad records in.
-    Ok(Trace::new(raw.name.clone(), raw.num_cores, raw.packets().to_vec()))
+    Ok(Trace::new(
+        raw.name.clone(),
+        raw.num_cores,
+        raw.packets().to_vec(),
+    ))
 }
 
 /// Write the binary DZTR representation.
@@ -108,7 +112,9 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
     }
     let version = u16::from_le_bytes(take(r)?);
     if version != DZTR_VERSION {
-        return Err(TraceIoError::Format(format!("unsupported version {version}")));
+        return Err(TraceIoError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let name_len = u16::from_le_bytes(take(r)?) as usize;
     let mut name = vec![0u8; name_len];
@@ -118,7 +124,9 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
     let num_cores = u32::from_le_bytes(take(r)?) as usize;
     let count = u64::from_le_bytes(take(r)?);
     if num_cores == 0 || num_cores > u16::MAX as usize {
-        return Err(TraceIoError::Format(format!("implausible core count {num_cores}")));
+        return Err(TraceIoError::Format(format!(
+            "implausible core count {num_cores}"
+        )));
     }
     let mut packets = Vec::with_capacity(count.min(1 << 24) as usize);
     for _ in 0..count {
@@ -210,7 +218,12 @@ mod tests {
         let mut bin = Vec::new();
         write_binary(&t, &mut bin).unwrap();
         let json = to_json(&t);
-        assert!(bin.len() * 4 < json.len(), "{} vs {}", bin.len(), json.len());
+        assert!(
+            bin.len() * 4 < json.len(),
+            "{} vs {}",
+            bin.len(),
+            json.len()
+        );
         // Header + 16 bytes per packet.
         assert_eq!(bin.len(), 4 + 2 + 2 + t.name.len() + 4 + 8 + 16 * t.len());
     }
@@ -264,10 +277,14 @@ mod tests {
         let t = sample();
         let mut json: serde_json::Value = serde_json::from_str(&to_json(&t)).unwrap();
         // Scramble packet order: loader must restore time order.
-        let arr = json["packets"].as_array_mut().unwrap();
+        let arr = json.get_mut("packets").unwrap().as_array_mut().unwrap();
         arr.reverse();
         let back = from_json(&json.to_string()).unwrap();
-        let times: Vec<u64> = back.packets().iter().map(|p| p.inject_time.ticks()).collect();
+        let times: Vec<u64> = back
+            .packets()
+            .iter()
+            .map(|p| p.inject_time.ticks())
+            .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 }

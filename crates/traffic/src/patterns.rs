@@ -41,12 +41,7 @@ impl Pattern {
     /// Destination core for a packet injected by `src`, given `rng` for
     /// the randomized patterns. Returns `None` when the pattern maps the
     /// source onto itself (those injections are skipped).
-    pub fn destination(
-        &self,
-        src: CoreId,
-        topo: &Topology,
-        rng: &mut SmallRng,
-    ) -> Option<CoreId> {
+    pub fn destination(&self, src: CoreId, topo: &Topology, rng: &mut SmallRng) -> Option<CoreId> {
         let n = topo.num_cores();
         let dst = match self {
             Pattern::UniformRandom => {
@@ -158,9 +153,13 @@ mod tests {
         let topo = Topology::mesh8x8();
         let mut r = rng();
         for c in topo.cores() {
-            let d = Pattern::BitComplement.destination(c, &topo, &mut r).unwrap();
+            let d = Pattern::BitComplement
+                .destination(c, &topo, &mut r)
+                .unwrap();
             assert_ne!(d, c);
-            let back = Pattern::BitComplement.destination(d, &topo, &mut r).unwrap();
+            let back = Pattern::BitComplement
+                .destination(d, &topo, &mut r)
+                .unwrap();
             assert_eq!(back, c);
         }
     }
@@ -171,7 +170,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..1000 {
             let src = CoreId(5);
-            let d = Pattern::UniformRandom.destination(src, &topo, &mut r).unwrap();
+            let d = Pattern::UniformRandom
+                .destination(src, &topo, &mut r)
+                .unwrap();
             assert_ne!(d, src);
             assert!(d.idx() < topo.num_cores());
         }

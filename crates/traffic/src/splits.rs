@@ -104,8 +104,7 @@ mod tests {
     #[test]
     fn test_set_covers_both_suites() {
         use crate::synthetic::Suite;
-        let suites: HashSet<_> =
-            TEST_BENCHMARKS.iter().map(|b| b.profile().suite).collect();
+        let suites: HashSet<_> = TEST_BENCHMARKS.iter().map(|b| b.profile().suite).collect();
         assert!(suites.contains(&Suite::Parsec));
         assert!(suites.contains(&Suite::Splash2));
     }

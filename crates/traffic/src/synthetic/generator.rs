@@ -37,7 +37,11 @@ impl TraceGenerator {
 
     /// A generator for `topo` with the default horizon and seed 0.
     pub fn new(topo: Topology) -> Self {
-        TraceGenerator { topo, duration_ns: Self::DEFAULT_DURATION_NS, seed: 0 }
+        TraceGenerator {
+            topo,
+            duration_ns: Self::DEFAULT_DURATION_NS,
+            seed: 0,
+        }
     }
 
     /// Override the injection horizon (nanoseconds).
@@ -76,9 +80,7 @@ impl TraceGenerator {
                 self.topo
                     .cores()
                     .filter(|&d| {
-                        d != src
-                            && self.topo.hop_distance(home, self.topo.router_of_core(d))
-                                <= 2
+                        d != src && self.topo.hop_distance(home, self.topo.router_of_core(d)) <= 2
                     })
                     .collect()
             })
@@ -91,8 +93,7 @@ impl TraceGenerator {
 
         let mut packets = Vec::new();
         for t_ns in 0..self.duration_ns {
-            let phase_idx =
-                (t_ns as f64 / profile.phase_ns) as usize % profile.phases.len();
+            let phase_idx = (t_ns as f64 / profile.phase_ns) as usize % profile.phases.len();
             let rate = (profile.on_rate * profile.phases[phase_idx]).min(1.0);
             for core in 0..n_cores {
                 // Advance the Markov chain one slot.
@@ -111,7 +112,8 @@ impl TraceGenerator {
                     continue;
                 }
                 let src = CoreId::from(core);
-                let dst = self.pick_destination(src, hot, &neighbourhoods[core], &profile, &mut rng);
+                let dst =
+                    self.pick_destination(src, hot, &neighbourhoods[core], &profile, &mut rng);
                 let Some(dst) = dst else { continue };
                 packets.push(Packet {
                     id: PacketId(0),
@@ -226,8 +228,14 @@ mod tests {
     fn load_ordering_matches_profiles() {
         // Canneal (heavy) must offer clearly more load than swaptions
         // (light): the calibration must produce distinguishable traces.
-        let heavy = generator().generate(Benchmark::Canneal).stats().flits_per_ns;
-        let light = generator().generate(Benchmark::Swaptions).stats().flits_per_ns;
+        let heavy = generator()
+            .generate(Benchmark::Canneal)
+            .stats()
+            .flits_per_ns;
+        let light = generator()
+            .generate(Benchmark::Swaptions)
+            .stats()
+            .flits_per_ns;
         assert!(
             heavy > light * 2.0,
             "canneal {heavy} flits/ns vs swaptions {light}"

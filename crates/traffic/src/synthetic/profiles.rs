@@ -113,8 +113,7 @@ impl WorkloadProfile {
 
     /// Mean packets per core per nanosecond (before responses).
     pub fn mean_rate(&self) -> f64 {
-        let mean_phase: f64 =
-            self.phases.iter().sum::<f64>() / self.phases.len() as f64;
+        let mean_phase: f64 = self.phases.iter().sum::<f64>() / self.phases.len() as f64;
         self.duty_cycle() * self.on_rate * mean_phase
     }
 }
@@ -134,7 +133,10 @@ impl Benchmark {
                 locality: 0.30,
                 hotspot: 0.04,
                 response_prob: 0.75,
-                phases: &[0.05, 0.51, 1.36, 1.7, 1.02, 0.15, 0.05, 0.68, 1.7, 1.36, 0.51, 0.05, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 0.51, 1.36, 1.7, 1.02, 0.15, 0.05, 0.68, 1.7, 1.36, 0.51, 0.05, 0.01,
+                    0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             Benchmark::Bodytrack => WorkloadProfile {
@@ -146,7 +148,10 @@ impl Benchmark {
                 locality: 0.45,
                 hotspot: 0.08,
                 response_prob: 0.70,
-                phases: &[0.1, 0.85, 1.7, 2.0, 1.7, 0.85, 0.15, 1.19, 2.0, 1.36, 0.51, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 0.85, 1.7, 2.0, 1.7, 0.85, 0.15, 1.19, 2.0, 1.36, 0.51, 0.1, 0.01, 0.01,
+                    0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Heavy, irregular communication; least gating headroom.
@@ -159,7 +164,10 @@ impl Benchmark {
                 locality: 0.15,
                 hotspot: 0.05,
                 response_prob: 0.85,
-                phases: &[0.68, 1.36, 1.87, 2.0, 1.7, 1.36, 1.7, 1.87, 1.19, 0.51, 0.15, 0.51, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.68, 1.36, 1.87, 2.0, 1.7, 1.36, 1.7, 1.87, 1.19, 0.51, 0.15, 0.51, 0.01,
+                    0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             Benchmark::Dedup => WorkloadProfile {
@@ -171,7 +179,10 @@ impl Benchmark {
                 locality: 0.55,
                 hotspot: 0.07,
                 response_prob: 0.60,
-                phases: &[0.1, 0.85, 1.53, 2.0, 1.7, 1.02, 0.2, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 0.85, 1.53, 2.0, 1.7, 1.02, 0.2, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03,
+                    0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Server-style: bursts converging on a hot query node.
@@ -184,7 +195,10 @@ impl Benchmark {
                 locality: 0.25,
                 hotspot: 0.08,
                 response_prob: 0.80,
-                phases: &[0.1, 1.02, 1.87, 2.0, 1.7, 0.85, 0.2, 0.05, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 1.02, 1.87, 2.0, 1.7, 0.85, 0.2, 0.05, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01,
+                    0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Neighbour-local stencil with strong phases.
@@ -197,7 +211,10 @@ impl Benchmark {
                 locality: 0.70,
                 hotspot: 0.02,
                 response_prob: 0.65,
-                phases: &[0.05, 0.85, 2.0, 0.85, 0.05, 0.85, 2.0, 0.85, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 0.85, 2.0, 0.85, 0.05, 0.85, 2.0, 0.85, 0.01, 0.01, 0.02, 0.01, 0.01,
+                    0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             Benchmark::Freqmine => WorkloadProfile {
@@ -209,7 +226,10 @@ impl Benchmark {
                 locality: 0.40,
                 hotspot: 0.09,
                 response_prob: 0.70,
-                phases: &[0.1, 0.68, 1.53, 2.0, 1.53, 0.85, 0.2, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 0.68, 1.53, 2.0, 1.53, 0.85, 0.2, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03,
+                    0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Lightest workload: mostly idle network.
@@ -222,7 +242,10 @@ impl Benchmark {
                 locality: 0.30,
                 hotspot: 0.03,
                 response_prob: 0.75,
-                phases: &[0.05, 0.51, 1.19, 0.68, 0.1, 0.51, 1.19, 0.51, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 0.51, 1.19, 0.68, 0.1, 0.51, 1.19, 0.51, 0.01, 0.01, 0.02, 0.01, 0.01,
+                    0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             Benchmark::Vips => WorkloadProfile {
@@ -234,7 +257,10 @@ impl Benchmark {
                 locality: 0.50,
                 hotspot: 0.06,
                 response_prob: 0.65,
-                phases: &[0.2, 1.02, 1.7, 2.0, 1.53, 1.02, 0.51, 0.1, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.2, 1.02, 1.7, 2.0, 1.53, 1.02, 0.51, 0.1, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01,
+                    0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Bursty encoder with strong frame-boundary phases.
@@ -247,7 +273,10 @@ impl Benchmark {
                 locality: 0.45,
                 hotspot: 0.07,
                 response_prob: 0.70,
-                phases: &[0.05, 1.02, 2.0, 2.0, 1.53, 0.51, 0.05, 0.68, 1.7, 2.0, 1.02, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 1.02, 2.0, 2.0, 1.53, 0.51, 0.05, 0.68, 1.7, 2.0, 1.02, 0.1, 0.01, 0.01,
+                    0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Irregular n-body with a hot tree-root node.
@@ -260,7 +289,10 @@ impl Benchmark {
                 locality: 0.20,
                 hotspot: 0.06,
                 response_prob: 0.80,
-                phases: &[0.1, 0.85, 1.87, 2.0, 1.53, 0.85, 0.2, 0.05, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 0.85, 1.87, 2.0, 1.53, 0.85, 0.2, 0.05, 0.05, 0.1, 0.01, 0.01, 0.02, 0.01,
+                    0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // All-to-all transpose bursts between compute phases.
@@ -273,7 +305,10 @@ impl Benchmark {
                 locality: 0.05,
                 hotspot: 0.02,
                 response_prob: 0.55,
-                phases: &[0.05, 0.68, 1.7, 2.0, 1.7, 0.68, 0.05, 0.68, 1.7, 2.0, 1.7, 0.68, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 0.68, 1.7, 2.0, 1.7, 0.68, 0.05, 0.68, 1.7, 2.0, 1.7, 0.68, 0.01, 0.01,
+                    0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Blocked factorization: neighbour traffic, decaying load.
@@ -286,7 +321,10 @@ impl Benchmark {
                 locality: 0.65,
                 hotspot: 0.05,
                 response_prob: 0.65,
-                phases: &[0.1, 1.02, 2.0, 2.0, 1.87, 1.36, 0.85, 0.2, 0.05, 0.05, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.1, 1.02, 2.0, 2.0, 1.87, 1.36, 0.85, 0.2, 0.05, 0.05, 0.01, 0.01, 0.02, 0.01,
+                    0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
             // Permutation bursts: heavy, uniform, short.
@@ -299,7 +337,10 @@ impl Benchmark {
                 locality: 0.10,
                 hotspot: 0.04,
                 response_prob: 0.50,
-                phases: &[0.05, 0.85, 1.87, 2.0, 1.53, 0.68, 0.05, 0.05, 0.51, 0.05, 0.01, 0.01, 0.02, 0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01],
+                phases: &[
+                    0.05, 0.85, 1.87, 2.0, 1.53, 0.68, 0.05, 0.05, 0.51, 0.05, 0.01, 0.01, 0.02,
+                    0.01, 0.01, 0.03, 0.01, 0.02, 0.01, 0.01,
+                ],
                 phase_ns: 1_500.0,
             },
         }
@@ -356,7 +397,11 @@ mod tests {
         for b in ALL_BENCHMARKS {
             let p = b.profile();
             assert!(p.burst_ns > 0.0 && p.idle_ns > 0.0, "{b}");
-            assert!((0.0..=0.2).contains(&p.on_rate), "{b}: on_rate {}", p.on_rate);
+            assert!(
+                (0.0..=0.2).contains(&p.on_rate),
+                "{b}: on_rate {}",
+                p.on_rate
+            );
             assert!((0.0..=1.0).contains(&p.locality), "{b}");
             assert!((0.0..=0.5).contains(&p.hotspot), "{b}");
             assert!((0.0..=1.0).contains(&p.response_prob), "{b}");
@@ -370,8 +415,10 @@ mod tests {
     fn duty_cycles_span_gating_regimes() {
         // The population must include workloads with big gating headroom
         // (duty < 0.2) and workloads with little (duty > 0.5).
-        let duties: Vec<f64> =
-            ALL_BENCHMARKS.iter().map(|b| b.profile().duty_cycle()).collect();
+        let duties: Vec<f64> = ALL_BENCHMARKS
+            .iter()
+            .map(|b| b.profile().duty_cycle())
+            .collect();
         assert!(duties.iter().any(|&d| d < 0.5), "{duties:?}");
         assert!(duties.iter().any(|&d| d > 0.7), "{duties:?}");
         // Everyone idles at least a quarter of the time (traces, not
@@ -406,7 +453,10 @@ mod tests {
     fn seed_is_stable() {
         // Seeds must never change across releases: trained models and
         // recorded experiments reference them.
-        assert_eq!(Benchmark::Blackscholes.seed(), Benchmark::Blackscholes.seed());
+        assert_eq!(
+            Benchmark::Blackscholes.seed(),
+            Benchmark::Blackscholes.seed()
+        );
         assert_ne!(Benchmark::Fft.seed(), Benchmark::Lu.seed());
     }
 }

@@ -31,7 +31,11 @@ impl Trace {
             assert!(p.dst.idx() < num_cores, "destination core out of range");
             assert_ne!(p.src, p.dst, "self-addressed packet");
         }
-        Trace { name: name.into(), num_cores, packets }
+        Trace {
+            name: name.into(),
+            num_cores,
+            packets,
+        }
     }
 
     /// The packets, ascending by injection time.
@@ -133,12 +137,7 @@ pub struct TraceStats {
 }
 
 /// Convenience constructor for tests and examples.
-pub fn packet(
-    src: u16,
-    dst: u16,
-    kind: PacketKind,
-    inject_ns: f64,
-) -> Packet {
+pub fn packet(src: u16, dst: u16, kind: PacketKind, inject_ns: f64) -> Packet {
     Packet {
         id: PacketId(0),
         src: CoreId(src),

@@ -1,0 +1,98 @@
+//! Power-state transition events, as observed by telemetry sinks.
+//!
+//! The simulator's state machine (active ↔ wakeup ↔ inactive, plus
+//! active-mode DVFS switches) emits one of these per transition so a
+//! [`Telemetry`](../../dozznoc_noc/telemetry/trait.Telemetry.html) sink
+//! can reconstruct the full per-router power timeline without re-running
+//! the simulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::RouterId;
+use crate::mode::Mode;
+use crate::time::SimTime;
+
+/// What kind of power-state transition occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// The router power-gated off (active → inactive).
+    GateOff,
+    /// The router began charging toward `target` (inactive → wakeup).
+    WakeupStart {
+        /// Mode the router will run at once charged.
+        target: Mode,
+    },
+    /// The wake-up completed (wakeup → active).
+    WakeupDone {
+        /// Mode the router is now running at.
+        mode: Mode,
+    },
+    /// An active router switched V/F mode, paying T-Switch.
+    ModeSwitch {
+        /// Mode before the switch.
+        from: Mode,
+        /// Mode after the switch.
+        to: Mode,
+    },
+}
+
+impl TransitionKind {
+    /// Short stable tag for CSV/JSONL rows.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TransitionKind::GateOff => "gate_off",
+            TransitionKind::WakeupStart { .. } => "wakeup_start",
+            TransitionKind::WakeupDone { .. } => "wakeup_done",
+            TransitionKind::ModeSwitch { .. } => "mode_switch",
+        }
+    }
+}
+
+/// One power-state transition, timestamped in base ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionEvent {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The router that transitioned.
+    pub router: RouterId,
+    /// What happened.
+    pub kind: TransitionKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let kinds = [
+            TransitionKind::GateOff,
+            TransitionKind::WakeupStart { target: Mode::M5 },
+            TransitionKind::WakeupDone { mode: Mode::M5 },
+            TransitionKind::ModeSwitch {
+                from: Mode::M3,
+                to: Mode::M7,
+            },
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.tag(), b.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let e = TransitionEvent {
+            at: SimTime::from_ticks(1234),
+            router: RouterId(7),
+            kind: TransitionKind::ModeSwitch {
+                from: Mode::M4,
+                to: Mode::M6,
+            },
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TransitionEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

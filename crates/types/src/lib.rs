@@ -14,11 +14,15 @@
 //! `divisor` ticks (18, 12, 10, 9 or 8). This makes per-router DVFS exact:
 //! there is no fractional-cycle rounding anywhere in the simulator.
 
+pub mod error;
+pub mod events;
 pub mod flit;
 pub mod ids;
 pub mod mode;
 pub mod time;
 
+pub use error::{ConfigError, MIN_EPOCH_CYCLES};
+pub use events::{TransitionEvent, TransitionKind};
 pub use flit::{Flit, FlitKind, Packet, PacketId, PacketKind};
 pub use ids::{CoreId, RouterId, VcId};
 pub use mode::{Mode, PowerState, ACTIVE_MODES};

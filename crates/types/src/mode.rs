@@ -138,7 +138,13 @@ impl Mode {
 
 impl core::fmt::Display for Mode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "M{} ({:.1} V/{} GHz)", self.index(), self.voltage(), self.freq_ghz())
+        write!(
+            f,
+            "M{} ({:.1} V/{} GHz)",
+            self.index(),
+            self.voltage(),
+            self.freq_ghz()
+        )
     }
 }
 
@@ -250,7 +256,11 @@ mod tests {
     fn power_state_billing() {
         assert_eq!(PowerState::Inactive.billed_mode(), None);
         assert_eq!(
-            PowerState::Wakeup { target: Mode::M5, until: SimTime::ZERO }.billed_mode(),
+            PowerState::Wakeup {
+                target: Mode::M5,
+                until: SimTime::ZERO
+            }
+            .billed_mode(),
             Some(Mode::M5)
         );
         assert_eq!(PowerState::Active(Mode::M7).billed_mode(), Some(Mode::M7));
@@ -260,7 +270,11 @@ mod tests {
     fn power_state_reporting() {
         assert_eq!(PowerState::Inactive.paper_mode(), 1);
         assert_eq!(
-            PowerState::Wakeup { target: Mode::M3, until: SimTime::ZERO }.paper_mode(),
+            PowerState::Wakeup {
+                target: Mode::M3,
+                until: SimTime::ZERO
+            }
+            .paper_mode(),
             2
         );
         assert_eq!(PowerState::Active(Mode::M6).paper_mode(), 6);

@@ -231,7 +231,10 @@ mod tests {
         d += TickDelta::from_ticks(3);
         assert_eq!(d.ticks(), 8);
         assert_eq!((d * 2).ticks(), 16);
-        assert_eq!(d.saturating_sub(TickDelta::from_ticks(100)), TickDelta::ZERO);
+        assert_eq!(
+            d.saturating_sub(TickDelta::from_ticks(100)),
+            TickDelta::ZERO
+        );
         assert_eq!(
             (SimTime::from_ticks(1) + TickDelta::from_ticks(2)).ticks(),
             3

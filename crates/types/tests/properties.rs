@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use dozznoc_types::{FlitKind, Mode, Packet, PacketId, PacketKind, SimTime, TickDelta};
 use dozznoc_types::{CoreId, ACTIVE_MODES, TICKS_PER_NS};
+use dozznoc_types::{FlitKind, Mode, Packet, PacketId, PacketKind, SimTime, TickDelta};
 
 proptest! {
     /// ns → ticks conversion never under-estimates a delay, and the

@@ -23,7 +23,10 @@ struct Hysteretic {
 
 impl Hysteretic {
     fn new(num_routers: usize, patience: u32) -> Self {
-        Hysteretic { patience, state: vec![(Mode::M7, 0); num_routers] }
+        Hysteretic {
+            patience,
+            state: vec![(Mode::M7, 0); num_routers],
+        }
     }
 }
 
@@ -65,9 +68,13 @@ fn main() {
 
     // The built-in reference points.
     let mut baseline = Baseline;
-    let base = Network::new(cfg).run(&trace, &mut baseline).expect("baseline");
+    let base = Network::new(cfg)
+        .run(&trace, &mut baseline)
+        .expect("baseline");
     let mut reactive = Reactive::dozznoc();
-    let react = Network::new(cfg).run(&trace, &mut reactive).expect("reactive");
+    let react = Network::new(cfg)
+        .run(&trace, &mut reactive)
+        .expect("reactive");
 
     // Our custom policy at two patience settings.
     println!(
@@ -89,11 +96,12 @@ fn main() {
     report_line("reactive-dozznoc", &react);
     for patience in [1u32, 4] {
         let mut policy = Hysteretic::new(topo.num_routers(), patience);
-        let r = Network::new(cfg).run(&trace, &mut policy).expect("custom policy run");
+        let r = Network::new(cfg)
+            .run(&trace, &mut policy)
+            .expect("custom policy run");
         report_line(&format!("hysteretic(p={patience})"), &r);
         assert_eq!(
-            r.stats.packets_delivered,
-            base.stats.packets_delivered,
+            r.stats.packets_delivered, base.stats.packets_delivered,
             "a policy must never lose packets"
         );
     }

@@ -24,7 +24,10 @@ fn main() {
             .map(|w| (w * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    println!("  chosen λ = {}, validation MSE = {:.5}", suite.dozznoc.lambda, suite.dozznoc.validation_mse);
+    println!(
+        "  chosen λ = {}, validation MSE = {:.5}",
+        suite.dozznoc.lambda, suite.dozznoc.validation_mse
+    );
 
     // Run a held-out test benchmark under both the baseline and DozzNoC.
     let trace = TraceGenerator::new(topo)
@@ -53,7 +56,11 @@ fn main() {
             baseline.stats.avg_net_latency_ns(),
             dozznoc.stats.avg_net_latency_ns(),
         ),
-        ("static energy (µJ)", baseline.energy.static_j * 1e6, dozznoc.energy.static_j * 1e6),
+        (
+            "static energy (µJ)",
+            baseline.energy.static_j * 1e6,
+            dozznoc.energy.static_j * 1e6,
+        ),
         (
             "dynamic energy (µJ)",
             baseline.energy.dynamic_with_ml_j() * 1e6,

@@ -74,7 +74,11 @@ fn render_waveform(t: &Transient, span_ns: f64) {
         for c in 0..cols {
             let time = span_ns * c as f64 / cols as f64;
             let v = t.sample(time);
-            line.push(if (v - level).abs() < v_hi / 16.0 { '*' } else { ' ' });
+            line.push(if (v - level).abs() < v_hi / 16.0 {
+                '*'
+            } else {
+                ' '
+            });
         }
         println!("  {level:>5.2}V |{line}");
     }

@@ -22,14 +22,23 @@ fn main() {
         });
 
     let topo = Topology::mesh8x8();
-    let trace = TraceGenerator::new(topo).with_duration_ns(8_000).generate(bench);
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(8_000)
+        .generate(bench);
 
     // ── inspect ──
     let s = trace.stats();
     println!("trace `{}`:", trace.name);
-    println!("  {} packets ({} requests, {} responses), {} flits", s.packets, s.requests, s.responses, s.flits);
-    println!("  horizon {:.1} µs, offered load {:.2} flits/ns, {} active cores",
-        trace.horizon().as_ns() / 1000.0, s.flits_per_ns, s.active_cores);
+    println!(
+        "  {} packets ({} requests, {} responses), {} flits",
+        s.packets, s.requests, s.responses, s.flits
+    );
+    println!(
+        "  horizon {:.1} µs, offered load {:.2} flits/ns, {} active cores",
+        trace.horizon().as_ns() / 1000.0,
+        s.flits_per_ns,
+        s.active_cores
+    );
 
     // ── save in both formats and compare sizes ──
     let dir = std::env::temp_dir();
@@ -41,8 +50,11 @@ fn main() {
         std::fs::metadata(&json_path).unwrap().len(),
         std::fs::metadata(&bin_path).unwrap().len(),
     );
-    println!("\nsaved {} ({json_len} B json, {bin_len} B dztr — {:.1}× smaller)",
-        trace.name, json_len as f64 / bin_len as f64);
+    println!(
+        "\nsaved {} ({json_len} B json, {bin_len} B dztr — {:.1}× smaller)",
+        trace.name,
+        json_len as f64 / bin_len as f64
+    );
 
     // ── load back and verify ──
     let reloaded = io::load(&bin_path).expect("load binary");
@@ -51,14 +63,22 @@ fn main() {
 
     // ── compress and replay under DozzNoC ──
     let compressed = trace.rescale(2, 3);
-    println!("\ncompressed to {:.1} µs horizon ({:.2} flits/ns)",
-        compressed.horizon().as_ns() / 1000.0, compressed.stats().flits_per_ns);
+    println!(
+        "\ncompressed to {:.1} µs horizon ({:.2} flits/ns)",
+        compressed.horizon().as_ns() / 1000.0,
+        compressed.stats().flits_per_ns
+    );
 
     let suite = ModelSuite::train(
         &Trainer::new(topo).with_duration_ns(4_000),
         FeatureSet::Reduced5,
     );
-    let report = run_model(NocConfig::paper(topo), &reloaded, ModelKind::DozzNoc, &suite);
+    let report = run_model(
+        NocConfig::paper(topo),
+        &reloaded,
+        ModelKind::DozzNoc,
+        &suite,
+    );
     println!(
         "\nreplayed under DOZZNOC: {} packets, net latency {:.1} ns mean / {:.1} ns P99",
         report.stats.packets_delivered,
@@ -79,8 +99,12 @@ fn main() {
         }
         println!("  {line}");
     }
-    let mean_off: f64 =
-        report.per_router.iter().map(|r| r.off_fraction).sum::<f64>() / 64.0;
+    let mean_off: f64 = report
+        .per_router
+        .iter()
+        .map(|r| r.off_fraction)
+        .sum::<f64>()
+        / 64.0;
     println!("  mean off-fraction {:.1}%", mean_off * 100.0);
 
     std::fs::remove_file(&json_path).ok();

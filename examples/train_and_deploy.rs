@@ -20,12 +20,19 @@ fn main() {
     println!("collecting reactive training data…");
     let train41 = trainer.collect(ReactiveKind::Gated, &TRAIN_BENCHMARKS);
     let val41 = trainer.collect(ReactiveKind::Gated, &VALIDATION_BENCHMARKS);
-    println!("  {} train / {} validation examples of 41 features", train41.len(), val41.len());
+    println!(
+        "  {} train / {} validation examples of 41 features",
+        train41.len(),
+        val41.len()
+    );
 
     // ── 2. Fit ridge on the Reduced-5 projection, λ tuned on validation.
     let model = trainer.train_from_datasets(&train41, &val41, FeatureSet::Reduced5);
     println!("\ntrained model:");
-    println!("  λ = {}, validation MSE = {:.6}", model.lambda, model.validation_mse);
+    println!(
+        "  λ = {}, validation MSE = {:.6}",
+        model.lambda, model.validation_mse
+    );
     for (id, w) in FeatureSet::Reduced5.ids().iter().zip(&model.weights) {
         println!("  {:<28} {w:+.4}", id.name());
     }
@@ -45,14 +52,19 @@ fn main() {
     let cfg = NocConfig::paper(topo);
 
     let mut reactive = Reactive::dozznoc();
-    let reactive_report =
-        Network::new(cfg).run(&trace, &mut reactive).expect("reactive run");
+    let reactive_report = Network::new(cfg)
+        .run(&trace, &mut reactive)
+        .expect("reactive run");
     let mut proactive = Proactive::dozznoc(reloaded);
-    let proactive_report =
-        Network::new(cfg).run(&trace, &mut proactive).expect("proactive run");
+    let proactive_report = Network::new(cfg)
+        .run(&trace, &mut proactive)
+        .expect("proactive run");
 
     println!("\non held-out `{}`:", trace.name);
-    for (name, r) in [("reactive", &reactive_report), ("proactive", &proactive_report)] {
+    for (name, r) in [
+        ("reactive", &reactive_report),
+        ("proactive", &proactive_report),
+    ] {
         println!(
             "  {:<10} static {:.2} µJ  dynamic {:.2} µJ  net-lat {:.1} ns  off {:.1}%",
             name,

@@ -48,20 +48,20 @@ pub use dozznoc_types as types;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use dozznoc_core::{
-        run_model, Adaptive, Baseline, Campaign, Collector, ModelKind, ModelSuite, Oracle,
-        PowerGated,
-        Proactive, Reactive, Trainer,
+        run_model, run_model_with_telemetry, Adaptive, Baseline, Campaign, Collector, ModelKind,
+        ModelSuite, Oracle, PowerGated, Proactive, Reactive, Trainer,
     };
     pub use dozznoc_ml::{
         mode_of_utilization, mode_selection_accuracy, Dataset, FeatureSet, RidgeRegression,
         TrainedModel,
     };
     pub use dozznoc_noc::{
-        AlwaysMode, EpochObservation, Network, NocConfig, PowerPolicy, RunReport,
+        AlwaysMode, DecisionTrace, EpochObservation, EpochSample, JsonlSink, Network, NocConfig,
+        NullSink, PowerPolicy, RunReport, Telemetry, TimelineSink,
     };
     pub use dozznoc_power::{
-        DsentCosts, EnergyLedger, EnergyReport, MlOverhead, SimoRegulator, SwitchDelayTable,
-        VfTable,
+        DsentCosts, EnergyDelta, EnergyLedger, EnergyReport, MlOverhead, SimoRegulator,
+        SwitchDelayTable, VfTable,
     };
     pub use dozznoc_topology::{Direction, Port, Topology, XyRouter};
     pub use dozznoc_traffic::{
@@ -69,6 +69,7 @@ pub mod prelude {
         VALIDATION_BENCHMARKS,
     };
     pub use dozznoc_types::{
-        CoreId, Flit, Mode, Packet, PacketKind, PowerState, RouterId, SimTime, TickDelta,
+        ConfigError, CoreId, Flit, Mode, Packet, PacketKind, PowerState, RouterId, SimTime,
+        TickDelta, TransitionEvent, TransitionKind, MIN_EPOCH_CYCLES,
     };
 }

@@ -16,7 +16,11 @@ fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
                     packet(
                         src,
                         dst,
-                        if is_req { PacketKind::Request } else { PacketKind::Response },
+                        if is_req {
+                            PacketKind::Request
+                        } else {
+                            PacketKind::Response
+                        },
                         t_ns as f64,
                     )
                 })
@@ -127,11 +131,7 @@ impl ChaoticPolicy {
 }
 
 impl PowerPolicy for ChaoticPolicy {
-    fn select_mode(
-        &mut self,
-        _router: RouterId,
-        _obs: &dozznoc::noc::EpochObservation,
-    ) -> Mode {
+    fn select_mode(&mut self, _router: RouterId, _obs: &dozznoc::noc::EpochObservation) -> Mode {
         Mode::from_rank((self.next() % 5) as usize).expect("rank in range")
     }
 

@@ -7,14 +7,19 @@ use dozznoc::prelude::*;
 const DUR_NS: u64 = 3_000;
 
 fn suite(topo: Topology) -> ModelSuite {
-    ModelSuite::train(&Trainer::new(topo).with_duration_ns(DUR_NS), FeatureSet::Reduced5)
+    ModelSuite::train(
+        &Trainer::new(topo).with_duration_ns(DUR_NS),
+        FeatureSet::Reduced5,
+    )
 }
 
 #[test]
 fn every_model_delivers_every_packet() {
     let topo = Topology::mesh8x8();
     let suite = suite(topo);
-    let trace = TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Fft);
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(DUR_NS)
+        .generate(Benchmark::Fft);
     let expected = trace.len() as u64;
     for kind in dozznoc::core::model::ALL_MODELS {
         let r = run_model(NocConfig::paper(topo), &trace, kind, &suite);
@@ -60,7 +65,11 @@ fn savings_ordering_matches_the_paper() {
 
     // PG saves static but not dynamic energy.
     let pg = get(ModelKind::PowerGated);
-    assert!(pg.static_ratio < 0.95, "PG static ratio {}", pg.static_ratio);
+    assert!(
+        pg.static_ratio < 0.95,
+        "PG static ratio {}",
+        pg.static_ratio
+    );
     assert!(
         (pg.dynamic_ratio - 1.0).abs() < 0.02,
         "PG must not change dynamic energy materially: {}",
@@ -70,8 +79,16 @@ fn savings_ordering_matches_the_paper() {
     // DVFS models save dynamic energy.
     let lead = get(ModelKind::LeadDvfs);
     let dozz = get(ModelKind::DozzNoc);
-    assert!(lead.dynamic_ratio < 0.9, "LEAD dynamic {}", lead.dynamic_ratio);
-    assert!(dozz.dynamic_ratio < 0.9, "DozzNoC dynamic {}", dozz.dynamic_ratio);
+    assert!(
+        lead.dynamic_ratio < 0.9,
+        "LEAD dynamic {}",
+        lead.dynamic_ratio
+    );
+    assert!(
+        dozz.dynamic_ratio < 0.9,
+        "DozzNoC dynamic {}",
+        dozz.dynamic_ratio
+    );
 
     // DozzNoC (PG+DVFS) saves more static energy than DVFS alone — the
     // paper's core claim.
@@ -100,8 +117,9 @@ fn trained_weights_round_trip_through_json() {
     let reloaded = TrainedModel::from_json(&json).expect("round trip");
     assert_eq!(reloaded, s.dozznoc);
     // The reloaded model drives a run identically.
-    let trace =
-        TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Barnes);
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(DUR_NS)
+        .generate(Benchmark::Barnes);
     let cfg = NocConfig::paper(topo);
     let mut a = Proactive::dozznoc(s.dozznoc.clone());
     let mut b = Proactive::dozznoc(reloaded);
@@ -114,7 +132,9 @@ fn trained_weights_round_trip_through_json() {
 fn cmesh_pipeline_works_end_to_end() {
     let topo = Topology::cmesh4x4();
     let s = suite(topo);
-    let trace = TraceGenerator::new(topo).with_duration_ns(DUR_NS).generate(Benchmark::Lu);
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(DUR_NS)
+        .generate(Benchmark::Lu);
     let base = run_model(NocConfig::paper(topo), &trace, ModelKind::Baseline, &s);
     let dozz = run_model(NocConfig::paper(topo), &trace, ModelKind::DozzNoc, &s);
     assert_eq!(base.stats.packets_delivered, dozz.stats.packets_delivered);
@@ -128,12 +148,15 @@ fn compressed_traces_shrink_gating_headroom() {
     let s = suite(topo);
     let uncompressed = Campaign::new(topo)
         .with_duration_ns(DUR_NS)
-        .with_models(&[ModelKind::PowerGated])
+        .try_with_models(&[ModelKind::PowerGated])
+        .expect("non-empty model set")
         .run(&[Benchmark::Swaptions], &s);
     let compressed = Campaign::new(topo)
         .with_duration_ns(DUR_NS)
-        .with_load_scale(1, 2)
-        .with_models(&[ModelKind::PowerGated])
+        .try_with_load_scale(1, 2)
+        .expect("1/2 load scale is valid")
+        .try_with_models(&[ModelKind::PowerGated])
+        .expect("non-empty model set")
         .run(&[Benchmark::Swaptions], &s);
     let off_u = uncompressed[0].report.energy.off_fraction();
     let off_c = compressed[0].report.energy.off_fraction();

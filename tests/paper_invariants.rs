@@ -84,7 +84,11 @@ fn thresholds_and_policies_agree() {
     let mut proactive = Proactive::lead(identity);
     for ibu in [0.0, 0.049, 0.051, 0.099, 0.15, 0.21, 0.24, 0.26, 0.8] {
         let want = mode_of_utilization(ibu);
-        assert_eq!(reactive.select_mode(RouterId(0), &obs(ibu)), want, "reactive at {ibu}");
+        assert_eq!(
+            reactive.select_mode(RouterId(0), &obs(ibu)),
+            want,
+            "reactive at {ibu}"
+        );
         assert_eq!(
             proactive.select_mode(RouterId(0), &obs(ibu)),
             want,
@@ -97,7 +101,9 @@ fn thresholds_and_policies_agree() {
 fn ml_overhead_matches_billing() {
     // A policy with N features must bill the §III-D energy per label.
     let topo = Topology::mesh8x8();
-    let trace = TraceGenerator::new(topo).with_duration_ns(3_000).generate(Benchmark::Fft);
+    let trace = TraceGenerator::new(topo)
+        .with_duration_ns(3_000)
+        .generate(Benchmark::Fft);
     let identity = TrainedModel::new(
         FeatureSet::Reduced5,
         vec![0.0, 0.0, 0.0, 0.0, 1.0],
@@ -106,7 +112,9 @@ fn ml_overhead_matches_billing() {
         0.0,
     );
     let mut policy = Proactive::lead(identity);
-    let r = Network::new(NocConfig::paper(topo)).run(&trace, &mut policy).unwrap();
+    let r = Network::new(NocConfig::paper(topo))
+        .run(&trace, &mut policy)
+        .unwrap();
     let per_label = MlOverhead::for_features(5).energy_j();
     assert!(r.energy.labels > 0);
     assert!(
@@ -126,7 +134,12 @@ fn dsent_costs_drive_hop_billing() {
     let trace = Trace::new(
         "two-hop",
         64,
-        vec![dozznoc::traffic::trace::packet(0, 1, PacketKind::Request, 400.0)],
+        vec![dozznoc::traffic::trace::packet(
+            0,
+            1,
+            PacketKind::Request,
+            400.0,
+        )],
     );
     for m in ACTIVE_MODES {
         let r = Network::new(NocConfig::paper(topo))
@@ -147,7 +160,10 @@ fn dsent_costs_drive_hop_billing() {
 #[test]
 fn epoch_size_is_part_of_model_identity() {
     let topo = Topology::mesh8x8();
-    let t100 = Trainer::new(topo).with_duration_ns(2_000).with_epoch_cycles(100);
+    let t100 = Trainer::new(topo)
+        .with_duration_ns(2_000)
+        .try_with_epoch_cycles(100)
+        .expect("epoch 100 is valid");
     let suite = ModelSuite::train(&t100, FeatureSet::Reduced5);
     assert_eq!(suite.dozznoc.epoch_cycles, 100);
     assert_eq!(suite.lead.epoch_cycles, 100);

@@ -1,0 +1,82 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+pub struct AnyOf<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T> AnyOf<T> {
+    fn new() -> Self {
+        AnyOf { _marker: core::marker::PhantomData }
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyOf::new()
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyOf::new()
+    }
+}
+
+impl Strategy for AnyOf<crate::sample::Index> {
+    type Value = crate::sample::Index;
+
+    fn generate(&self, rng: &mut TestRng) -> crate::sample::Index {
+        crate::sample::Index::from_raw(rng.next_u64())
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    type Strategy = AnyOf<crate::sample::Index>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyOf::new()
+    }
+}

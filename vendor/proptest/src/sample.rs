@@ -1,0 +1,45 @@
+//! Sampling strategies: `select` from a list, and `Index` for
+//! length-relative indexing.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly pick one of the given options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty option list");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// An index drawn independently of any particular collection length;
+/// apply it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Wrap raw entropy (used by `any::<Index>()`).
+    pub fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Map onto `[0, size)`. Panics if `size` is zero, like proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.raw % size as u64) as usize
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `serde` cannot be fetched. This crate provides the subset the
+//! workspace actually uses — `#[derive(Serialize, Deserialize)]` on plain
+//! structs and enums, round-tripped through an in-memory [`Value`] tree
+//! (the JSON text codec lives in the vendored `serde_json`).
+//!
+//! Deliberate simplifications versus real serde:
+//! * Serialization is `Value`-tree based, not visitor based.
+//! * `Deserialize` has no lifetime parameter (the workspace only
+//!   deserializes owned data).
+//! * The only container attribute honoured is `#[serde(transparent)]`;
+//!   newtype structs serialize transparently either way, matching
+//!   `serde_json`'s behaviour for newtypes.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl core::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::PosInt(i as u64))
+                } else {
+                    Value::Number(Number::NegInt(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::custom(format!("expected number, got {v}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::Number(Number::PosInt(n)),
+            // JSON numbers top out at u64 in this stand-in; wider values
+            // ride as decimal strings and round-trip exactly.
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => s
+                .parse::<u128>()
+                .map_err(|e| DeError::custom(format!("bad u128 `{s}`: {e}"))),
+            other => other
+                .as_u64()
+                .map(u128::from)
+                .ok_or_else(|| DeError::custom(format!("expected u128, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| DeError::custom("array length changed during parse"))
+            }
+            other => Err(DeError::custom(format!("expected array of {N}, got {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected {LEN}-tuple array, got {other}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Helpers the derive macro expands to. Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Look up a named field of a struct object.
+    pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::custom(format!("expected object, got {other}"))),
+        }
+    }
+
+    /// Split an externally-tagged enum value into (variant name, payload).
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+        match v {
+            Value::String(name) => Ok((name, None)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            other => Err(DeError::custom(format!("expected enum variant, got {other}"))),
+        }
+    }
+
+    /// A unit variant must carry no payload.
+    pub fn no_payload(payload: Option<&Value>, variant: &str) -> Result<(), DeError> {
+        match payload {
+            None => Ok(()),
+            Some(_) => Err(DeError::custom(format!("unexpected payload for unit variant `{variant}`"))),
+        }
+    }
+
+    /// A data-carrying variant must have a payload.
+    pub fn payload<'a>(payload: Option<&'a Value>, variant: &str) -> Result<&'a Value, DeError> {
+        payload.ok_or_else(|| DeError::custom(format!("missing payload for variant `{variant}`")))
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Provides the subset the workspace uses: [`Value`], [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and the [`json!`] macro, all
+//! backed by the vendored `serde` crate's value tree.
+
+mod parse;
+
+pub use serde::value::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl core::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type (including [`Value`]).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::new)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// Infallible in this stand-in (real serde_json returns `Result`); kept
+/// as a plain value because the workspace only uses it via [`json!`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-ish syntax.
+///
+/// Supports `null`, `[expr, ...]`, `{ "key": expr, ... }` (keys must be
+/// string literals), and bare expressions of serializable values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = json!({
+            "name": "dozznoc",
+            "count": 3u64,
+            "nested": json!([1u64, 2u64, 3u64]),
+            "flag": true,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["name"].as_str(), Some("dozznoc"));
+        assert_eq!(back["count"].as_u64(), Some(3));
+        assert_eq!(back["nested"][1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({ "a": json!([1u64]), "b": "x\n\"y\"" });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let cases = ["18446744073709551615", "-42", "0.5", "1e3", "-2.25"];
+        for c in cases {
+            let v: Value = from_str(c).unwrap();
+            let back: Value = from_str(&v.to_string()).unwrap();
+            assert_eq!(back, v, "{c}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+    }
+}
