@@ -26,7 +26,7 @@ fn xy_next_hop(c: &mut Criterion) {
 fn xy_full_path(c: &mut Criterion) {
     let xy = XyRouter::new(Topology::mesh8x8());
     c.bench_function("topology/xy_full_path", |b| {
-        b.iter(|| black_box(xy.path(black_box(CoreId(0)), black_box(CoreId(63))).count()))
+        b.iter(|| black_box(xy.path(black_box(CoreId(0)), black_box(CoreId(63))).len()))
     });
 }
 

@@ -76,13 +76,6 @@ impl Campaign {
         Ok(self)
     }
 
-    /// Panicking shim for [`Campaign::try_with_epoch_cycles`].
-    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
-    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
-        self.try_with_epoch_cycles(epoch_cycles)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Trace horizon override.
     pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
         self.duration_ns = duration_ns;
@@ -105,13 +98,6 @@ impl Campaign {
         Ok(self)
     }
 
-    /// Panicking shim for [`Campaign::try_with_compression`].
-    #[deprecated(note = "use try_with_compression, which returns Result")]
-    pub fn with_compression(self, factor: u64) -> Self {
-        self.try_with_compression(factor)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Fractional compression: injection times scaled by `num/den`
     /// (load changes by `den/num`). The Fig. 8 "compressed" runs use
     /// 2/3 — 1.5× load, near but not past saturation. Zero terms are
@@ -124,13 +110,6 @@ impl Campaign {
         Ok(self)
     }
 
-    /// Panicking shim for [`Campaign::try_with_load_scale`].
-    #[deprecated(note = "use try_with_load_scale, which returns Result")]
-    pub fn with_load_scale(self, num: u64, den: u64) -> Self {
-        self.try_with_load_scale(num, den)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Restrict the model set. An empty set is rejected.
     pub fn try_with_models(mut self, models: &[ModelKind]) -> Result<Self, ConfigError> {
         if models.is_empty() {
@@ -138,13 +117,6 @@ impl Campaign {
         }
         self.models = models.to_vec();
         Ok(self)
-    }
-
-    /// Panicking shim for [`Campaign::try_with_models`].
-    #[deprecated(note = "use try_with_models, which returns Result")]
-    pub fn with_models(self, models: &[ModelKind]) -> Self {
-        self.try_with_models(models)
-            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Simulator configuration the campaign uses.
@@ -435,13 +407,6 @@ mod tests {
         assert!(Campaign::new(Topology::mesh8x8())
             .try_with_models(&[ModelKind::Baseline])
             .is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "degenerate epoch")]
-    fn deprecated_campaign_shim_still_panics() {
-        #[allow(deprecated)]
-        let _ = Campaign::new(Topology::mesh8x8()).with_epoch_cycles(1);
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use serde::{Deserialize, Serialize};
 
 use dozznoc_noc::PowerPolicy;
-use dozznoc_topology::Topology;
 
 use crate::policy::{Baseline, PowerGated, Proactive};
 use crate::training::ModelSuite;
@@ -44,13 +43,6 @@ impl ModelKind {
             ModelKind::DozzNoc => Box::new(Proactive::dozznoc(suite.dozznoc.clone())),
             ModelKind::MlTurbo => Box::new(Proactive::turbo(suite.turbo.clone())),
         }
-    }
-
-    /// Shim for [`ModelKind::build`]; the topology argument is unused
-    /// now that turbo counters size themselves.
-    #[deprecated(note = "use build, which no longer needs a topology")]
-    pub fn policy(&self, suite: &ModelSuite, _topo: &Topology) -> Box<dyn PowerPolicy> {
-        self.build(suite)
     }
 
     /// Parse a CLI-style model name (as printed by `dozz-repro --help`).
@@ -108,6 +100,7 @@ mod tests {
     use super::*;
     use crate::training::Trainer;
     use dozznoc_ml::FeatureSet;
+    use dozznoc_topology::Topology;
 
     #[test]
     fn labels_and_ml_flags() {

@@ -74,13 +74,6 @@ impl Trainer {
         Ok(self)
     }
 
-    /// Panicking shim for [`Trainer::try_with_epoch_cycles`].
-    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
-    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
-        self.try_with_epoch_cycles(epoch_cycles)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Shorter traces (tests / CI).
     pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
         self.duration_ns = duration_ns;
@@ -102,13 +95,6 @@ impl Trainer {
         Ok(self)
     }
 
-    /// Panicking shim for [`Trainer::try_with_compression`].
-    #[deprecated(note = "use try_with_compression, which returns Result")]
-    pub fn with_compression(self, factor: u64) -> Self {
-        self.try_with_compression(factor)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Fractional load scaling (see `Campaign::try_with_load_scale`).
     pub fn try_with_load_scale(mut self, num: u64, den: u64) -> Result<Self, ConfigError> {
         if num == 0 || den == 0 {
@@ -116,13 +102,6 @@ impl Trainer {
         }
         self.load_scale = (num, den);
         Ok(self)
-    }
-
-    /// Panicking shim for [`Trainer::try_with_load_scale`].
-    #[deprecated(note = "use try_with_load_scale, which returns Result")]
-    pub fn with_load_scale(self, num: u64, den: u64) -> Self {
-        self.try_with_load_scale(num, den)
-            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The simulator configuration training runs use.

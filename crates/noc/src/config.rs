@@ -64,13 +64,6 @@ impl NocConfig {
         Ok(self)
     }
 
-    /// Panicking shim for [`NocConfig::try_with_epoch_cycles`].
-    #[deprecated(note = "use try_with_epoch_cycles, which returns Result")]
-    pub fn with_epoch_cycles(self, epoch_cycles: u64) -> Self {
-        self.try_with_epoch_cycles(epoch_cycles)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Override T-Idle.
     pub fn with_t_idle(mut self, t_idle: u64) -> Self {
         self.t_idle = t_idle;
@@ -141,12 +134,5 @@ mod tests {
         assert!(NocConfig::paper(Topology::mesh8x8())
             .try_with_epoch_cycles(dozznoc_types::MIN_EPOCH_CYCLES)
             .is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "degenerate epoch")]
-    fn deprecated_shim_still_panics() {
-        #[allow(deprecated)]
-        let _ = NocConfig::paper(Topology::mesh8x8()).with_epoch_cycles(1);
     }
 }

@@ -8,7 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of power-of-two buckets (2⁰ … 2³⁶ ticks ≈ 3.8 ms).
+/// Number of power-of-two buckets (bucket `b` covers `[2^b, 2^(b+1))`
+/// ticks; the last bucket absorbs everything from 2³⁶ ticks ≈ 3.8 ms
+/// up).
 pub const BUCKETS: usize = 37;
 
 /// A histogram over latencies in base ticks.
@@ -29,9 +31,15 @@ impl Default for LatencyHistogram {
 
 impl LatencyHistogram {
     /// Record one latency (ticks).
+    ///
+    /// Bucket `b` holds latencies in `[2^b, 2^(b+1))` — `floor(log2)`
+    /// bucketing, so an exact power of two lands in its own bucket and
+    /// a 1-tick latency lands in bucket 0. Zero latencies (impossible
+    /// for real flits, which always spend ≥ 1 tick in flight) share
+    /// bucket 0.
     #[inline]
     pub fn record(&mut self, ticks: u64) {
-        let bucket = (64 - ticks.leading_zeros() as usize).min(BUCKETS - 1);
+        let bucket = (63 - ticks.max(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.counts[bucket] += 1;
         self.total += 1;
     }
@@ -41,8 +49,11 @@ impl LatencyHistogram {
         self.total
     }
 
-    /// Upper bound (ticks) of the bucket containing the `p`-quantile,
-    /// `p ∈ [0, 1]`. Returns 0 for an empty histogram.
+    /// Inclusive upper bound (ticks) of the bucket containing the
+    /// `p`-quantile, `p ∈ [0, 1]`: bucket `b` covers `[2^b, 2^(b+1))`,
+    /// so this reports `2^(b+1) − 1`. A population of exact 1-tick
+    /// samples (bucket 0) therefore reports exactly 1. Returns 0 for an
+    /// empty histogram.
     pub fn percentile_ticks(&self, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p), "quantile out of range");
         if self.total == 0 {
@@ -53,10 +64,10 @@ impl LatencyHistogram {
         for (bucket, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if bucket == 0 { 0 } else { 1u64 << bucket };
+                return (1u64 << (bucket + 1)) - 1;
             }
         }
-        1u64 << (BUCKETS - 1)
+        (1u64 << BUCKETS) - 1
     }
 
     /// Percentile in nanoseconds.
@@ -72,14 +83,15 @@ impl LatencyHistogram {
         self.total += other.total;
     }
 
-    /// Non-empty `(bucket upper bound in ns, count)` pairs, for reports.
+    /// Non-empty `(bucket inclusive upper bound in ns, count)` pairs,
+    /// for reports. Bucket `b` covers `[2^b, 2^(b+1))` ticks.
     pub fn buckets_ns(&self) -> Vec<(f64, u64)> {
         self.counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(b, &c)| {
-                let hi = if b == 0 { 0 } else { 1u64 << b };
+                let hi = (1u64 << (b + 1)) - 1;
                 (hi as f64 / dozznoc_types::TICKS_PER_NS as f64, c)
             })
             .collect()
@@ -148,8 +160,38 @@ mod tests {
         h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.total(), 2);
-        assert_eq!(h.percentile_ticks(0.25), 0);
-        assert_eq!(h.percentile_ticks(1.0), 1u64 << (BUCKETS - 1));
+        // Zero shares bucket 0 with the 1-tick latencies.
+        assert_eq!(h.percentile_ticks(0.25), 1);
+        assert_eq!(h.percentile_ticks(1.0), (1u64 << BUCKETS) - 1);
+    }
+
+    #[test]
+    fn uniform_one_tick_population_reports_p50_of_one() {
+        // Regression: the old `64 - leading_zeros` bucketing put a
+        // 1-tick latency in bucket 1, so percentiles reported 2 ticks
+        // for a population made entirely of exact 1-tick samples.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(1);
+        }
+        assert_eq!(h.percentile_ticks(0.5), 1);
+        assert_eq!(h.percentile_ticks(0.99), 1);
+        assert_eq!(h.percentile_ticks(1.0), 1);
+    }
+
+    #[test]
+    fn powers_of_two_land_in_their_own_bucket() {
+        // floor(log2) bucketing: 2^b opens bucket b, 2^b − 1 closes
+        // bucket b−1; the percentile bound of a population of exact
+        // 2^b samples is the inclusive top of bucket b.
+        for b in 1..10u32 {
+            let mut h = LatencyHistogram::default();
+            h.record(1u64 << b);
+            assert_eq!(h.percentile_ticks(1.0), (1u64 << (b + 1)) - 1, "2^{b}");
+            let mut lo = LatencyHistogram::default();
+            lo.record((1u64 << b) - 1);
+            assert_eq!(lo.percentile_ticks(1.0), (1u64 << b) - 1, "2^{b}-1");
+        }
     }
 
     #[test]

@@ -52,9 +52,11 @@ pub struct EpochCounters {
     pub flits_ejected: u64,
     /// Flit-hops routed through the switch.
     pub hops: u64,
-    /// Cycles a ready head flit lost switch allocation.
+    /// Cycles at least one ready head flit lost switch allocation
+    /// (at most one per local cycle, however many ports contended).
     pub stall_cycles: u64,
-    /// Cycles a send was blocked on downstream space.
+    /// Cycles at least one output had every candidate blocked on
+    /// downstream state or space (at most one per local cycle).
     pub credit_stall_cycles: u64,
     /// Cycles with all input buffers empty.
     pub idle_cycles: u64,
@@ -96,6 +98,12 @@ pub struct Router {
     pub idle_streak: u64,
     /// Round-robin switch-allocation pointer per output port.
     pub sa_rr: Vec<usize>,
+    /// Buffered-flit count, maintained incrementally by the network at
+    /// every buffer push/pop. Lets the per-cycle pipeline skip the
+    /// route-compute and switch-allocation scans outright for routers
+    /// with nothing buffered (the common case); asserted against the
+    /// authoritative [`Router::occupancy`] scan in debug builds.
+    pub buffered_flits: u32,
     /// Local cycles into the current epoch.
     pub cycles_into_epoch: u64,
     /// Epochs completed.
@@ -144,6 +152,7 @@ impl Router {
             off_since: None,
             idle_streak: 0,
             sa_rr: vec![0; n_ports],
+            buffered_flits: 0,
             cycles_into_epoch: 0,
             epochs: 0,
             counters: EpochCounters::default(),
@@ -195,12 +204,14 @@ impl Router {
     pub fn sample_cycle(&mut self, secured: bool) {
         let c = &mut self.counters;
         c.cycles += 1;
-        let occ = self.ports.iter().map(InputPort::occupancy).sum::<usize>() as u64;
+        let mut occ = 0u64;
+        for (p, port) in self.ports.iter().enumerate() {
+            let po = port.occupancy() as u64;
+            occ += po;
+            c.class_occupancy[port_class(p)] += po;
+        }
         c.occupancy_flit_cycles += occ;
         c.occupancy_peak = c.occupancy_peak.max(occ);
-        for (p, port) in self.ports.iter().enumerate() {
-            c.class_occupancy[port_class(p)] += port.occupancy() as u64;
-        }
         if occ == 0 {
             c.idle_cycles += 1;
             self.idle_streak += 1;

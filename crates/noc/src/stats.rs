@@ -37,6 +37,11 @@ pub struct RunStats {
     pub mode_selections: [u64; 5],
     /// Epoch boundaries processed (denominator of the Fig. 7 shares).
     pub epochs: u64,
+    /// Invariant violations: releases of a downstream-secure reference
+    /// that no matching secure ever took. Always 0 in a correct
+    /// simulator; nonzero means a flow-control accounting bug that
+    /// would previously have been masked by a saturating subtraction.
+    pub secure_underflows: u64,
 }
 
 impl RunStats {

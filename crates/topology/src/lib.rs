@@ -18,4 +18,4 @@ pub mod routing;
 
 pub use direction::{Direction, Port, DIR_PORTS};
 pub use grid::{Coord, Topology, TopologyKind};
-pub use routing::{DimOrder, RoutePath, XyRouter};
+pub use routing::{DimOrder, XyRouter};

@@ -23,30 +23,65 @@ pub enum DimOrder {
     Yx,
 }
 
-/// Stateless dimension-order router for a grid topology.
+/// Dimension-order router for a grid topology, with every router-pair
+/// path precomputed at construction.
 ///
 /// The paper uses XY DOR; YX is provided for routing-sensitivity
 /// experiments. Look-ahead (knowing the next router one hop early) works
 /// identically for both, which is what DozzNoC's downstream securing
 /// needs.
-#[derive(Debug, Clone, Copy)]
+///
+/// DOR paths are static, so they are tabulated once here and
+/// [`XyRouter::path`] returns a borrowed slice: the simulator's
+/// injection path (Power Punch wake punching walks the full route of
+/// every admitted packet) does no per-packet allocation or coordinate
+/// arithmetic. The table is `Σ (hops+1)` router ids over all n² router
+/// pairs — ~180 KiB for the 8×8 mesh, ~2 KiB for the 4×4 cmesh.
+#[derive(Debug, Clone)]
 pub struct XyRouter {
     topo: Topology,
     order: DimOrder,
+    /// All router-pair paths, flattened. The path from router `a` to
+    /// router `b` (both inclusive) is
+    /// `paths[offsets[a·n + b] .. offsets[a·n + b + 1]]`.
+    paths: Vec<RouterId>,
+    offsets: Vec<u32>,
 }
 
 impl XyRouter {
     /// Create an XY router function for `topo` (the paper's default).
     pub fn new(topo: Topology) -> Self {
-        XyRouter {
-            topo,
-            order: DimOrder::Xy,
-        }
+        XyRouter::with_order(topo, DimOrder::Xy)
     }
 
     /// Create a router function with an explicit dimension order.
     pub fn with_order(topo: Topology, order: DimOrder) -> Self {
-        XyRouter { topo, order }
+        let n = topo.num_routers();
+        let mut paths = Vec::new();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0u32);
+        for a in 0..n as u16 {
+            for b in 0..n as u16 {
+                let mut cur = RouterId(a);
+                let dst = RouterId(b);
+                paths.push(cur);
+                while cur != dst {
+                    let d =
+                        dir_toward(&topo, order, cur, dst).expect("cur != dst implies some offset");
+                    cur = topo
+                        .neighbor(cur, d)
+                        .expect("DOR never routes off the edge of the grid");
+                    paths.push(cur);
+                }
+                offsets.push(paths.len() as u32);
+            }
+        }
+        XyRouter {
+            topo,
+            order,
+            paths,
+            offsets,
+        }
     }
 
     /// The topology this router function operates on.
@@ -65,78 +100,58 @@ impl XyRouter {
         if cur == dst_router {
             return Port::Local(self.topo.local_slot(dst));
         }
-        let cc = self.topo.coord(cur);
-        let dc = self.topo.coord(dst_router);
-        let x_move = if dc.x > cc.x {
-            Some(Direction::East)
-        } else if dc.x < cc.x {
-            Some(Direction::West)
-        } else {
-            None
-        };
-        let y_move = if dc.y > cc.y {
-            Some(Direction::South)
-        } else if dc.y < cc.y {
-            Some(Direction::North)
-        } else {
-            None
-        };
-        let dir = match self.order {
-            DimOrder::Xy => x_move.or(y_move),
-            DimOrder::Yx => y_move.or(x_move),
-        };
-        Port::Dir(dir.expect("cur != dst_router implies some offset"))
+        let dir = dir_toward(&self.topo, self.order, cur, dst_router)
+            .expect("cur != dst_router implies some offset");
+        Port::Dir(dir)
     }
 
     /// Look-ahead: the *next router* a packet at `cur` destined to core
     /// `dst` will hop to, or `None` when `cur` is already the ejection
     /// router. This is the router DozzNoC secures/wakes.
     pub fn next_hop(&self, cur: RouterId, dst: CoreId) -> Option<RouterId> {
-        match self.output_port(cur, dst) {
-            Port::Local(_) => None,
-            Port::Dir(d) => {
-                let n = self.topo.neighbor(cur, d);
-                debug_assert!(n.is_some(), "XY routed off the edge of the mesh");
-                n
-            }
-        }
+        let p = self.router_path(cur, self.topo.router_of_core(dst));
+        p.get(1).copied()
     }
 
     /// Full router path from core `src` to core `dst`, inclusive of both
-    /// endpoint routers.
-    pub fn path(&self, src: CoreId, dst: CoreId) -> RoutePath {
-        RoutePath {
-            router: self.topo.router_of_core(src),
-            dst,
-            xy: *self,
-            done: false,
-        }
+    /// endpoint routers. Borrowed from the precomputed table — no
+    /// per-call allocation.
+    pub fn path(&self, src: CoreId, dst: CoreId) -> &[RouterId] {
+        self.router_path(self.topo.router_of_core(src), self.topo.router_of_core(dst))
+    }
+
+    /// Precomputed router path from router `a` to router `b`, inclusive
+    /// of both endpoints (a one-element slice when `a == b`).
+    pub fn router_path(&self, a: RouterId, b: RouterId) -> &[RouterId] {
+        let n = self.topo.num_routers();
+        debug_assert!(a.idx() < n && b.idx() < n);
+        let k = a.idx() * n + b.idx();
+        &self.paths[self.offsets[k] as usize..self.offsets[k + 1] as usize]
     }
 }
 
-/// Iterator over the routers an XY-routed packet visits (see
-/// [`XyRouter::path`]).
-#[derive(Debug, Clone)]
-pub struct RoutePath {
-    router: RouterId,
-    dst: CoreId,
-    xy: XyRouter,
-    done: bool,
-}
-
-impl Iterator for RoutePath {
-    type Item = RouterId;
-
-    fn next(&mut self) -> Option<RouterId> {
-        if self.done {
-            return None;
-        }
-        let cur = self.router;
-        match self.xy.next_hop(cur, self.dst) {
-            Some(n) => self.router = n,
-            None => self.done = true,
-        }
-        Some(cur)
+/// The direction DOR moves next from `cur` toward router `dst`, or
+/// `None` when already there.
+fn dir_toward(topo: &Topology, order: DimOrder, cur: RouterId, dst: RouterId) -> Option<Direction> {
+    let cc = topo.coord(cur);
+    let dc = topo.coord(dst);
+    let x_move = if dc.x > cc.x {
+        Some(Direction::East)
+    } else if dc.x < cc.x {
+        Some(Direction::West)
+    } else {
+        None
+    };
+    let y_move = if dc.y > cc.y {
+        Some(Direction::South)
+    } else if dc.y < cc.y {
+        Some(Direction::North)
+    } else {
+        None
+    };
+    match order {
+        DimOrder::Xy => x_move.or(y_move),
+        DimOrder::Yx => y_move.or(x_move),
     }
 }
 
@@ -155,7 +170,7 @@ mod tests {
         for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
             let xy = XyRouter::new(topo);
             for (src, dst) in all_pairs(topo) {
-                let hops = xy.path(src, dst).count() as u32 - 1;
+                let hops = xy.path(src, dst).len() as u32 - 1;
                 let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
                 assert_eq!(hops, expect, "{src}->{dst}");
             }
@@ -167,7 +182,7 @@ mod tests {
         for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
             let xy = XyRouter::new(topo);
             for (src, dst) in all_pairs(topo) {
-                let last = xy.path(src, dst).last().unwrap();
+                let last = *xy.path(src, dst).last().unwrap();
                 assert_eq!(last, topo.router_of_core(dst));
             }
         }
@@ -180,7 +195,7 @@ mod tests {
         // From (0,0) to (3,2): the first 3 hops must move east.
         let src = CoreId(0); // router (0,0)
         let dst = CoreId(2 * 8 + 3); // router (3,2)
-        let path: Vec<_> = xy.path(src, dst).collect();
+        let path = xy.path(src, dst);
         for w in path.windows(2).take(3) {
             let a = topo.coord(w[0]);
             let b = topo.coord(w[1]);
@@ -236,7 +251,7 @@ mod tests {
         let topo = Topology::mesh8x8();
         let xy = XyRouter::new(topo);
         for (src, dst) in all_pairs(topo) {
-            let path: Vec<_> = xy.path(src, dst).collect();
+            let path = xy.path(src, dst);
             let mut seen_y_move = false;
             for w in path.windows(2) {
                 let a = topo.coord(w[0]);
@@ -262,7 +277,7 @@ mod yx_tests {
         let topo = Topology::mesh8x8();
         let yx = XyRouter::with_order(topo, DimOrder::Yx);
         // From (0,0) to (3,2): the first 2 hops must move south.
-        let path: Vec<_> = yx.path(CoreId(0), CoreId(2 * 8 + 3)).collect();
+        let path = yx.path(CoreId(0), CoreId(2 * 8 + 3));
         for w in path.windows(2).take(2) {
             let a = topo.coord(w[0]);
             let b = topo.coord(w[1]);
@@ -282,10 +297,10 @@ mod yx_tests {
         for s in 0..topo.num_cores() as u16 {
             for d in 0..topo.num_cores() as u16 {
                 let (src, dst) = (CoreId(s), CoreId(d));
-                let hops = yx.path(src, dst).count() as u32 - 1;
+                let hops = yx.path(src, dst).len() as u32 - 1;
                 let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
                 assert_eq!(hops, expect);
-                assert_eq!(yx.path(src, dst).last().unwrap(), topo.router_of_core(dst));
+                assert_eq!(*yx.path(src, dst).last().unwrap(), topo.router_of_core(dst));
             }
         }
     }
@@ -296,7 +311,7 @@ mod yx_tests {
         let yx = XyRouter::with_order(topo, DimOrder::Yx);
         for s in 0..64u16 {
             for d in 0..64u16 {
-                let path: Vec<_> = yx.path(CoreId(s), CoreId(d)).collect();
+                let path = yx.path(CoreId(s), CoreId(d));
                 let mut seen_x = false;
                 for w in path.windows(2) {
                     let a = topo.coord(w[0]);

@@ -1,0 +1,88 @@
+//! Golden-file determinism harness.
+//!
+//! The hot-path refactors (allocation-free switch allocation,
+//! heap-based event scheduling, path tables) must be *behavior
+//! preserving*: the `RunReport` of every (benchmark, policy) cell has
+//! to stay bit-identical across refactors. This test serializes every
+//! cell of a small campaign and compares the JSON byte-for-byte
+//! against a committed golden file. Rust prints `f64` as the shortest
+//! string that round-trips, so string equality here is bit equality of
+//! every float in every report.
+//!
+//! To re-bless after an *intentional* behavior change:
+//!
+//! ```text
+//! DOZZNOC_BLESS=1 cargo test --test determinism
+//! ```
+
+use std::path::PathBuf;
+
+use dozznoc::prelude::*;
+
+/// Short horizon: determinism does not need statistical power, and the
+/// suite must stay cheap enough for tier-1.
+const DUR_NS: u64 = 2_000;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("run_reports.json")
+}
+
+#[test]
+fn every_campaign_cell_matches_golden_run_reports() {
+    let topo = Topology::mesh8x8();
+    let suite = ModelSuite::train(
+        &Trainer::new(topo).with_duration_ns(DUR_NS),
+        FeatureSet::Reduced5,
+    );
+    let results = Campaign::new(topo)
+        .with_duration_ns(DUR_NS)
+        .run(&TEST_BENCHMARKS, &suite);
+    assert_eq!(results.len(), TEST_BENCHMARKS.len() * 5);
+
+    // `CampaignResult` carries (benchmark, model, report); the campaign
+    // already sorts cells deterministically, and the vendored serde
+    // value tree preserves struct-field declaration order, so the
+    // serialized document is a stable function of simulator behavior.
+    let actual = serde_json::to_string_pretty(&results).expect("reports serialize");
+
+    let path = golden_path();
+    if std::env::var_os("DOZZNOC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden path has a parent"))
+            .expect("create goldens dir");
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             DOZZNOC_BLESS=1 cargo test --test determinism",
+            path.display()
+        )
+    });
+    if actual != golden {
+        // Point at the first diverging cell rather than dumping both
+        // multi-thousand-line documents.
+        let line = actual.lines().zip(golden.lines()).position(|(a, g)| a != g);
+        match line {
+            Some(n) => {
+                let a = actual.lines().nth(n).unwrap_or_default();
+                let g = golden.lines().nth(n).unwrap_or_default();
+                panic!(
+                    "RunReport diverged from golden at line {}:\n  actual: {a}\n  golden: {g}\n\
+                     If this change is intentional, re-bless with \
+                     DOZZNOC_BLESS=1 cargo test --test determinism",
+                    n + 1
+                );
+            }
+            None => panic!(
+                "RunReport output differs from golden only in length \
+                 ({} vs {} lines); re-bless if intentional",
+                actual.lines().count(),
+                golden.lines().count()
+            ),
+        }
+    }
+}

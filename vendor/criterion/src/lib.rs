@@ -6,8 +6,31 @@
 //! a simple wall-clock measurement loop: per sample, time one batch of
 //! iterations and report mean and minimum per-iteration times. No
 //! statistical analysis, plots, or baseline storage.
+//!
+//! Two harness conveniences the real criterion also offers:
+//!
+//! * a substring filter taken from the command line (`cargo bench --
+//!   fig8` runs only benchmarks whose id contains `fig8`);
+//! * machine-readable output: set `CRITERION_JSON=<path>` to append one
+//!   JSON line per benchmark (`{"id":…,"mean_ns":…,"min_ns":…,
+//!   "samples":…}`) — CI uses this to publish bench artifacts.
 
+use std::io::Write;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Substring filter from the first free command-line argument (cargo
+/// passes `--bench`/flags too; those are skipped).
+fn cli_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| {
+            std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with('-'))
+        })
+        .as_deref()
+}
 
 /// Top-level harness handle.
 pub struct Criterion {
@@ -64,6 +87,11 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    if let Some(filter) = cli_filter() {
+        if !id.contains(filter) {
+            return;
+        }
+    }
     let mut b = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
     f(&mut b);
     if b.samples.is_empty() {
@@ -73,6 +101,23 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
     let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
     let min = b.samples.iter().min().copied().unwrap_or_default();
     println!("{id:50} mean {:>12} ns/iter   min {:>12} ns/iter", mean.as_nanos(), min.as_nanos());
+    if let Some(path) = std::env::var_os("CRITERION_JSON") {
+        let line = format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+            id.escape_default(),
+            mean.as_nanos(),
+            min.as_nanos(),
+            b.samples.len()
+        );
+        let r = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = r {
+            eprintln!("criterion: cannot append to CRITERION_JSON {path:?}: {e}");
+        }
+    }
 }
 
 /// Per-benchmark measurement driver passed to the closure.
