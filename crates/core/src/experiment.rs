@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dozznoc_noc::{Network, NocConfig, NullSink, RunReport, Telemetry};
+use dozznoc_noc::{Network, NocConfig, NullSink, RunReport, SimSanitizer, Telemetry};
 use dozznoc_topology::Topology;
 use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
 use dozznoc_types::ConfigError;
@@ -27,6 +27,25 @@ pub fn run_model_with_telemetry(
     let mut policy = kind.build(suite);
     Network::new(cfg)
         .run_with_telemetry(trace, policy.as_mut(), tel)
+        .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
+}
+
+/// Run one model on one trace under a runtime invariant sanitizer (see
+/// [`dozznoc_noc::sanitizer`]): every event tick is swept for
+/// flow-control, conservation and scheduling violations, collected in
+/// `san` for [`SimSanitizer::report`]. The returned report is
+/// bit-identical to [`run_model`]'s — the sanitizer only observes.
+pub fn run_model_sanitized(
+    cfg: NocConfig,
+    trace: &Trace,
+    kind: ModelKind,
+    suite: &ModelSuite,
+    tel: &mut dyn Telemetry,
+    san: &mut SimSanitizer,
+) -> RunReport {
+    let mut policy = kind.build(suite);
+    Network::new(cfg)
+        .run_sanitized(trace, policy.as_mut(), tel, san)
         .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
 }
 

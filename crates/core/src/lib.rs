@@ -31,7 +31,9 @@ pub mod policy;
 pub mod training;
 
 pub use collect::Collector;
-pub use experiment::{run_model, run_model_with_telemetry, Campaign, CampaignResult};
+pub use experiment::{
+    run_model, run_model_sanitized, run_model_with_telemetry, Campaign, CampaignResult,
+};
 pub use features::{extract_features, feature_value};
 pub use model::ModelKind;
 pub use policy::{Adaptive, Baseline, Oracle, PowerGated, Proactive, Reactive};

@@ -1,0 +1,104 @@
+//! `dozz-repro check` — run the evaluation matrix under the runtime
+//! invariant sanitizer.
+//!
+//! Every (topology, benchmark, model) cell runs with a fresh
+//! [`SimSanitizer`] sweeping the simulator's flow-control, conservation
+//! and scheduling invariants after every event tick (the catalogue is
+//! in `DESIGN.md`). A healthy build reports zero violations everywhere;
+//! any violation prints its structured detail and fails the process
+//! with exit code 1, which is what makes this subcommand CI-able.
+//!
+//! `--bench NAME` restricts the matrix to one benchmark; `--quick`
+//! shortens the traces. Results are also written to
+//! `sanitizer_check.csv` under `--out`.
+
+use dozznoc_core::model::ALL_MODELS;
+use dozznoc_core::run_model_sanitized;
+use dozznoc_ml::FeatureSet;
+use dozznoc_noc::{NocConfig, NullSink, SimSanitizer};
+use dozznoc_topology::Topology;
+use dozznoc_traffic::{Benchmark, TraceGenerator, ALL_BENCHMARKS, TEST_BENCHMARKS};
+
+use crate::ctx::{banner, Ctx};
+use crate::suite::suite_for;
+
+fn parse_bench(name: &str) -> Benchmark {
+    ALL_BENCHMARKS
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+            panic!("unknown benchmark `{name}` (known: {})", known.join(", "))
+        })
+}
+
+/// Run every cell of the evaluation matrix under the sanitizer.
+pub fn run(ctx: &Ctx) {
+    banner("Sanitizer check — invariant sweep over the evaluation matrix");
+    let benches: Vec<Benchmark> = match ctx.bench.as_deref() {
+        Some(name) => vec![parse_bench(name)],
+        None => TEST_BENCHMARKS.to_vec(),
+    };
+
+    let mut rows = Vec::new();
+    let mut total_violations = 0u64;
+    let mut cells = 0u64;
+    println!(
+        "{:<10} {:<14} {:<10} {:>12} {:>10}",
+        "topology", "benchmark", "model", "sweeps", "violations"
+    );
+    for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
+        let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
+        for &bench in &benches {
+            let trace = TraceGenerator::new(topo)
+                .with_duration_ns(ctx.duration_ns())
+                .with_seed(ctx.seed)
+                .generate(bench);
+            for model in ALL_MODELS {
+                let mut san = SimSanitizer::default();
+                let report = run_model_sanitized(
+                    NocConfig::paper(topo),
+                    &trace,
+                    model,
+                    &suite,
+                    &mut NullSink,
+                    &mut san,
+                );
+                let sr = san.report();
+                cells += 1;
+                total_violations += sr.total_violations;
+                println!(
+                    "{:<10} {:<14} {:<10} {:>12} {:>10}",
+                    topo.kind(),
+                    bench.name(),
+                    model.slug(),
+                    sr.sweeps,
+                    sr.total_violations
+                );
+                for v in &sr.violations {
+                    eprintln!("    VIOLATION @ tick {}: {:?}", v.tick, v.kind);
+                }
+                rows.push(format!(
+                    "{},{},{},{},{},{}",
+                    topo.kind(),
+                    bench.name(),
+                    model.slug(),
+                    sr.sweeps,
+                    sr.total_violations,
+                    report.stats.packets_delivered
+                ));
+            }
+        }
+    }
+    ctx.write_csv(
+        "sanitizer_check.csv",
+        "topology,benchmark,model,sweeps,violations,packets_delivered",
+        &rows,
+    );
+    if total_violations > 0 {
+        eprintln!("\nFAIL: {total_violations} invariant violation(s) across {cells} cells");
+        std::process::exit(1);
+    }
+    println!("\nOK: {cells} cells, zero invariant violations");
+}

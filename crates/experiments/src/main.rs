@@ -24,6 +24,7 @@
 //!   ablation-online   offline ridge vs online-adaptive RLS under drift
 //!   latency           network-latency percentiles per model
 //!   timeline          per-router mode/energy time-series via telemetry
+//!   check             run the evaluation matrix under the invariant sanitizer
 //!   transition-cost   rail-transition energy vs the savings it erodes
 //!   routing           XY vs YX dimension-order sensitivity
 //!   all               everything above, sharing one training pass
@@ -34,6 +35,7 @@
 //! `--out` (default `results/`).
 
 mod ablations;
+mod check;
 mod ctx;
 mod fig5;
 mod fig6;
@@ -80,6 +82,7 @@ fn main() {
         "routing" => ablations::routing(&ctx),
         "latency" => latency::run(&ctx),
         "timeline" => timeline::run(&ctx),
+        "check" => check::run(&ctx),
         "all" => {
             tables::table1(&ctx);
             tables::table2(&ctx);
@@ -120,9 +123,10 @@ dozz-repro — regenerate the DozzNoC paper's tables and figures
 
 usage: dozz-repro <command> [--quick] [--out DIR] [--seed N]
        dozz-repro timeline [--bench NAME] [--model NAME] [flags above]
+       dozz-repro check [--bench NAME] [flags above]
 
 commands: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
           headline sweep-epoch overhead ablation-features ablation-gating
           ablation-proactive ablation-online scale latency timeline
-          transition-cost routing all
+          check transition-cost routing all
 ";

@@ -62,6 +62,19 @@ impl VcBuffer {
         self.queue.len() < self.capacity
     }
 
+    /// Flit capacity of this buffer (the credit pool backing it).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffered `(flit, ready_at)` entries in FIFO order — read-only
+    /// inspection for the invariant sanitizer; never perturbs state.
+    #[inline]
+    pub(crate) fn entries(&self) -> impl Iterator<Item = &(Flit, u64)> {
+        self.queue.iter()
+    }
+
     /// True when this VC can accept the *head* of a new packet: it must
     /// be unowned (wormhole) and have space.
     #[inline]
@@ -268,7 +281,7 @@ mod tests {
             out_vc: None,
         });
         b.set_out_vc(2);
-        assert_eq!(b.route().unwrap().out_vc, Some(2));
+        assert_eq!(b.route().expect("route is set").out_vc, Some(2));
         b.pop();
         assert!(b.route().is_none());
     }

@@ -64,6 +64,17 @@ impl NocConfig {
         Ok(self)
     }
 
+    /// Override the router pipeline depth. Rejects zero: the ready-tick
+    /// arithmetic books `pipeline_cycles - 1` extra cycles per buffered
+    /// flit, so a zero depth would underflow the tick math.
+    pub fn try_with_pipeline_cycles(mut self, pipeline_cycles: u64) -> Result<Self, ConfigError> {
+        if pipeline_cycles == 0 {
+            return Err(ConfigError::DegeneratePipeline { pipeline_cycles });
+        }
+        self.pipeline_cycles = pipeline_cycles;
+        Ok(self)
+    }
+
     /// Override T-Idle.
     pub fn with_t_idle(mut self, t_idle: u64) -> Self {
         self.t_idle = t_idle;
@@ -115,17 +126,33 @@ mod tests {
     fn builders() {
         let c = NocConfig::paper(Topology::mesh8x8())
             .try_with_epoch_cycles(100)
-            .unwrap()
+            .expect("epoch 100 is valid")
             .with_t_idle(8);
         assert_eq!(c.epoch_cycles, 100);
         assert_eq!(c.t_idle, 8);
     }
 
     #[test]
+    fn zero_pipeline_rejected() {
+        let err = NocConfig::paper(Topology::mesh8x8())
+            .try_with_pipeline_cycles(0)
+            .expect_err("zero pipeline must be rejected");
+        assert_eq!(
+            err,
+            dozznoc_types::ConfigError::DegeneratePipeline { pipeline_cycles: 0 }
+        );
+        // A single-stage pipeline (ST only) is the boundary and is fine.
+        let c = NocConfig::paper(Topology::mesh8x8())
+            .try_with_pipeline_cycles(1)
+            .expect("pipeline depth 1 is valid");
+        assert_eq!(c.pipeline_cycles, 1);
+    }
+
+    #[test]
     fn tiny_epoch_rejected() {
         let err = NocConfig::paper(Topology::mesh8x8())
             .try_with_epoch_cycles(1)
-            .unwrap_err();
+            .expect_err("degenerate epoch must be rejected");
         assert_eq!(
             err,
             dozznoc_types::ConfigError::DegenerateEpoch { epoch_cycles: 1 }

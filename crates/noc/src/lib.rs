@@ -32,6 +32,7 @@ pub mod network;
 pub mod observation;
 pub mod policy;
 pub mod router;
+pub mod sanitizer;
 pub mod stats;
 pub mod telemetry;
 
@@ -40,5 +41,8 @@ pub use histogram::LatencyHistogram;
 pub use network::Network;
 pub use observation::{EpochObservation, PortClassStats};
 pub use policy::{AlwaysMode, PowerPolicy};
+pub use sanitizer::{
+    InvariantViolation, SanitizerConfig, SanitizerReport, SimSanitizer, ViolationKind,
+};
 pub use stats::{RouterSummary, RunReport, RunStats};
 pub use telemetry::{DecisionTrace, EpochSample, JsonlSink, NullSink, Telemetry, TimelineSink};

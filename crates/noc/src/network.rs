@@ -38,6 +38,7 @@ use crate::buffer::VcRoute;
 use crate::config::NocConfig;
 use crate::policy::PowerPolicy;
 use crate::router::{port_class, Router};
+use crate::sanitizer::{InvariantViolation, SimSanitizer};
 use crate::stats::{RunReport, RunStats};
 use crate::telemetry::{NullSink, Telemetry};
 
@@ -51,6 +52,11 @@ pub enum SimError {
         /// Flits still undelivered at abort time.
         in_flight: u64,
     },
+    /// A fail-fast [`SimSanitizer`] detected an invariant violation.
+    Invariant {
+        /// The violation that aborted the run.
+        violation: InvariantViolation,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -62,6 +68,13 @@ impl core::fmt::Display for SimError {
                     "simulation hit max_ticks with {in_flight} flits in flight"
                 )
             }
+            SimError::Invariant { violation } => {
+                write!(
+                    f,
+                    "invariant violation at tick {}: {:?}",
+                    violation.tick, violation.kind
+                )
+            }
         }
     }
 }
@@ -69,21 +82,25 @@ impl core::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// The simulated network.
+///
+/// Fields the [`SimSanitizer`](crate::sanitizer) cross-checks are
+/// `pub(crate)`: the sanitizer reads them but, by taking `&Network`
+/// only, can never perturb a run.
 pub struct Network {
-    cfg: NocConfig,
-    topo: Topology,
+    pub(crate) cfg: NocConfig,
+    pub(crate) topo: Topology,
     xy: XyRouter,
     vf: VfTable,
-    routers: Vec<Router>,
+    pub(crate) routers: Vec<Router>,
     /// Downstream-secure reference counts, one per router.
     secured: Vec<u32>,
     /// Per-core injection queues (unbounded NI buffers).
-    inject: Vec<VecDeque<Flit>>,
+    pub(crate) inject: Vec<VecDeque<Flit>>,
     ledger: EnergyLedger,
     transition: TransitionEnergy,
-    stats: RunStats,
-    now: u64,
-    in_flight: u64,
+    pub(crate) stats: RunStats,
+    pub(crate) now: u64,
+    pub(crate) in_flight: u64,
     /// Tick each packet's head flit entered the network (dense by
     /// `PacketId`; `u64::MAX` = not yet entered).
     net_entry: Vec<u64>,
@@ -111,7 +128,7 @@ pub struct Network {
     /// This replaces an O(n) min-scan over all routers per event with
     /// O(log n) per firing, and stays correct when `begin_wakeup` pulls
     /// a router's `next_cycle_at` *earlier* than its scheduled entry.
-    sched: BinaryHeap<Reverse<(u64, u32)>>,
+    pub(crate) sched: BinaryHeap<Reverse<(u64, u32)>>,
     /// Switch-allocation scratch: candidate input slots bucketed by
     /// output port (flattened `n_ports × n_slots`), reused every cycle
     /// so the allocator never allocates.
@@ -123,6 +140,10 @@ pub struct Network {
 impl Network {
     /// Build a network in the baseline state (everything active at M7).
     pub fn new(cfg: NocConfig) -> Self {
+        assert!(
+            cfg.pipeline_cycles >= 1,
+            "pipeline_cycles must be ≥ 1 (use NocConfig::try_with_pipeline_cycles)"
+        );
         let topo = cfg.topology;
         let n = topo.num_routers();
         Network {
@@ -203,7 +224,7 @@ impl Network {
 
     /// Run `trace` under `policy` to completion and report.
     pub fn run(self, trace: &Trace, policy: &mut dyn PowerPolicy) -> Result<RunReport, SimError> {
-        self.run_with_telemetry(trace, policy, &mut NullSink)
+        self.run_instrumented(trace, policy, &mut NullSink, None)
     }
 
     /// Run `trace` under `policy`, streaming per-epoch observations,
@@ -213,11 +234,42 @@ impl Network {
     /// [`Telemetry::is_enabled`] returns `false`) this is exactly
     /// [`Network::run`]: no snapshots are kept and no hooks fire.
     pub fn run_with_telemetry(
-        mut self,
+        self,
         trace: &Trace,
         policy: &mut dyn PowerPolicy,
         tel: &mut dyn Telemetry,
     ) -> Result<RunReport, SimError> {
+        self.run_instrumented(trace, policy, tel, None)
+    }
+
+    /// Run under a [`SimSanitizer`]: every event tick's post-drain state
+    /// is swept for invariant violations, which are surfaced through
+    /// [`Telemetry::on_violation`] and collected in the sanitizer for
+    /// [`SimSanitizer::report`]. The sanitizer only reads network state,
+    /// so the returned report is bit-identical to an unsanitized run.
+    ///
+    /// With [`SimSanitizer::disabled`] (or by passing `None` internally)
+    /// the cost is one branch per event tick.
+    pub fn run_sanitized(
+        self,
+        trace: &Trace,
+        policy: &mut dyn PowerPolicy,
+        tel: &mut dyn Telemetry,
+        san: &mut SimSanitizer,
+    ) -> Result<RunReport, SimError> {
+        self.run_instrumented(trace, policy, tel, Some(san))
+    }
+
+    fn run_instrumented(
+        mut self,
+        trace: &Trace,
+        policy: &mut dyn PowerPolicy,
+        tel: &mut dyn Telemetry,
+        mut san: Option<&mut SimSanitizer>,
+    ) -> Result<RunReport, SimError> {
+        // Sanitizer fast path mirrors `tel_enabled`: one bool decides
+        // whether the per-tick sweep call exists at all.
+        let san_enabled = san.as_ref().is_some_and(|s| s.is_enabled());
         assert_eq!(
             trace.num_cores,
             self.topo.num_cores(),
@@ -299,6 +351,20 @@ impl Network {
             if self.tel_enabled && !self.events.is_empty() {
                 for e in self.events.drain(..) {
                     tel.on_transition(&e);
+                }
+            }
+
+            // Sweep invariants over the post-drain state (read-only).
+            if san_enabled {
+                if let Some(s) = san.as_deref_mut() {
+                    s.check_tick(&self, tel);
+                    if s.should_abort() {
+                        let violation = s
+                            .first_violation()
+                            .expect("fail-fast abort implies a recorded violation")
+                            .clone();
+                        return Err(SimError::Invariant { violation });
+                    }
                 }
             }
 
@@ -1078,7 +1144,7 @@ mod tests {
         );
         let r = Network::new(NocConfig::paper(Topology::cmesh4x4()))
             .run(&t, &mut AlwaysMode::new(Mode::M7))
-            .unwrap();
+            .expect("cmesh run completes");
         assert_eq!(r.stats.packets_delivered, 2);
     }
 

@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::NocConfig;
 use crate::observation::EpochObservation;
+use crate::sanitizer::InvariantViolation;
 use crate::stats::RunReport;
 
 /// The feature vector and raw prediction behind one ML policy decision.
@@ -75,6 +76,13 @@ pub trait Telemetry {
 
     /// A router changed power state.
     fn on_transition(&mut self, _event: &TransitionEvent) {}
+
+    /// The runtime sanitizer detected an invariant violation. Fires
+    /// regardless of [`is_enabled`](Telemetry::is_enabled): violations
+    /// are correctness signals, not profiling data, so a disabled sink
+    /// still hears about them (the default no-op drops them for sinks
+    /// that do not care).
+    fn on_violation(&mut self, _violation: &InvariantViolation) {}
 
     /// The run finished; `report` is what `run` is about to return.
     fn on_run_end(&mut self, _report: &RunReport) {}
@@ -187,6 +195,13 @@ impl<W: Write> Telemetry for JsonlSink<W> {
         }));
     }
 
+    fn on_violation(&mut self, violation: &InvariantViolation) {
+        self.write_record(serde_json::json!({
+            "event": "violation",
+            "violation": serde_json::to_value(violation),
+        }));
+    }
+
     fn on_run_end(&mut self, report: &RunReport) {
         self.write_record(serde_json::json!({
             "event": "run_end",
@@ -241,6 +256,9 @@ pub struct TimelineSink {
     pub epochs: Vec<EpochSample>,
     /// Every power-state transition, in emission order.
     pub transitions: Vec<TransitionEvent>,
+    /// Every sanitizer violation, in emission order (empty unless the
+    /// run executed under an enabled [`SimSanitizer`](crate::SimSanitizer)).
+    pub violations: Vec<InvariantViolation>,
     /// The final report, filled in at run end.
     pub report: Option<RunReport>,
 }
@@ -297,6 +315,10 @@ impl Telemetry for TimelineSink {
 
     fn on_transition(&mut self, event: &TransitionEvent) {
         self.transitions.push(*event);
+    }
+
+    fn on_violation(&mut self, violation: &InvariantViolation) {
+        self.violations.push(violation.clone());
     }
 
     fn on_run_end(&mut self, report: &RunReport) {
@@ -380,17 +402,17 @@ mod tests {
             Mode::M6,
         );
         assert_eq!(sink.records_written(), 3);
-        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).expect("records are UTF-8");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         // Every line parses back and carries its discriminator.
-        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(lines[0]).expect("line 0 parses");
         assert_eq!(v["event"].as_str(), Some("epoch"));
         assert_eq!(v["router"].as_u64(), Some(3));
-        let t: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        let t: serde_json::Value = serde_json::from_str(lines[1]).expect("line 1 parses");
         assert_eq!(t["event"].as_str(), Some("transition"));
         assert_eq!(t["at"].as_u64(), Some(42));
-        let d: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        let d: serde_json::Value = serde_json::from_str(lines[2]).expect("line 2 parses");
         assert_eq!(d["predicted_ibu"].as_f64(), Some(0.25));
     }
 }

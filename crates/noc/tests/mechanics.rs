@@ -47,7 +47,9 @@ fn mode_switches_pay_but_do_not_lose_packets() {
         modes: [Mode::M3, Mode::M7],
         epoch: 0,
     };
-    let r = Network::new(cfg()).run(&trace, &mut policy).unwrap();
+    let r = Network::new(cfg())
+        .run(&trace, &mut policy)
+        .expect("run completes");
     assert_eq!(r.stats.packets_delivered, 50);
     // Both modes were selected.
     assert!(r.stats.mode_selections[Mode::M3.rank()] > 0);
@@ -61,7 +63,7 @@ fn transition_energy_absent_without_mode_changes_or_gating() {
     let trace = Trace::new("still", 64, vec![packet(0, 9, PacketKind::Request, 1.0)]);
     let r = Network::new(cfg())
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     assert_eq!(r.energy.transition_j, 0.0);
     assert_eq!(r.energy.wakeups, 0);
 }
@@ -78,7 +80,7 @@ fn gating_bills_wakeup_transitions() {
     );
     let r = Network::new(cfg())
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     assert!(r.energy.wakeups > 0);
     assert!(r.energy.transition_j > 0.0);
     // Each wake into M7 costs C·V² = 0.3 nF × 1.44 V² = 0.432 nJ.
@@ -97,10 +99,10 @@ fn yx_routing_delivers_and_differs_from_xy() {
         .generate(Benchmark::Ferret);
     let xy = Network::new(NocConfig::paper(topo))
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     let yx = Network::new(NocConfig::paper(topo).with_routing(DimOrder::Yx))
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     // Both conserve traffic.
     assert_eq!(xy.stats.flits_delivered, yx.stats.flits_delivered);
     assert_eq!(xy.stats.packets_delivered, yx.stats.packets_delivered);
@@ -124,7 +126,7 @@ fn per_router_summaries_are_consistent_with_totals() {
         .generate(Benchmark::Lu);
     let r = Network::new(NocConfig::paper(topo))
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     assert_eq!(r.per_router.len(), 64);
     let hop_sum: u64 = r.per_router.iter().map(|p| p.hops).sum();
     assert_eq!(hop_sum, r.energy.flit_hops);
@@ -145,10 +147,10 @@ fn tighter_t_idle_gates_more_often() {
         .generate(Benchmark::Swaptions);
     let eager = Network::new(NocConfig::paper(topo).with_t_idle(2))
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     let lazy = Network::new(NocConfig::paper(topo).with_t_idle(256))
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     assert!(
         eager.energy.gate_offs > lazy.energy.gate_offs,
         "eager {} vs lazy {}",
@@ -166,10 +168,10 @@ fn disabling_wake_punch_still_delivers() {
         .generate(Benchmark::Radix);
     let punched = Network::new(NocConfig::paper(topo))
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     let unpunched = Network::new(NocConfig::paper(topo).without_wake_punch())
         .run(&trace, &mut AlwaysMode::new(Mode::M7).with_gating())
-        .unwrap();
+        .expect("run completes");
     assert_eq!(
         punched.stats.packets_delivered,
         unpunched.stats.packets_delivered
@@ -187,12 +189,12 @@ fn deeper_pipelines_are_slower_but_lossless() {
     shallow_cfg.pipeline_cycles = 1;
     let shallow = Network::new(shallow_cfg)
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     let mut deep_cfg = NocConfig::paper(topo);
     deep_cfg.pipeline_cycles = 5;
     let deep = Network::new(deep_cfg)
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     assert_eq!(deep.stats.packets_delivered, 1);
     assert!(
         deep.stats.avg_net_latency_ns() > shallow.stats.avg_net_latency_ns() * 1.5,
@@ -210,7 +212,7 @@ fn histogram_totals_match_delivered_packets() {
         .generate(Benchmark::X264);
     let r = Network::new(NocConfig::paper(topo))
         .run(&trace, &mut AlwaysMode::new(Mode::M7))
-        .unwrap();
+        .expect("run completes");
     assert_eq!(r.stats.net_latency_hist.total(), r.stats.packets_delivered);
     // P100 bound dominates the recorded max.
     assert!(r.stats.net_latency_hist.percentile_ticks(1.0) >= r.stats.net_latency_max_ticks);

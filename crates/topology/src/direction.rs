@@ -164,7 +164,7 @@ mod tests {
     fn port_index_round_trip() {
         for c in [1usize, 4] {
             for i in 0..4 + c {
-                let p = Port::from_index(i, c).unwrap();
+                let p = Port::from_index(i, c).expect("index below 4 + concentration is valid");
                 assert_eq!(p.index(), i);
             }
             assert_eq!(Port::from_index(4 + c, c), None);

@@ -182,7 +182,7 @@ mod tests {
         for topo in [Topology::mesh8x8(), Topology::cmesh4x4()] {
             let xy = XyRouter::new(topo);
             for (src, dst) in all_pairs(topo) {
-                let last = *xy.path(src, dst).last().unwrap();
+                let last = *xy.path(src, dst).last().expect("paths are non-empty");
                 assert_eq!(last, topo.router_of_core(dst));
             }
         }
@@ -300,7 +300,10 @@ mod yx_tests {
                 let hops = yx.path(src, dst).len() as u32 - 1;
                 let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
                 assert_eq!(hops, expect);
-                assert_eq!(*yx.path(src, dst).last().unwrap(), topo.router_of_core(dst));
+                assert_eq!(
+                    *yx.path(src, dst).last().expect("paths are non-empty"),
+                    topo.router_of_core(dst)
+                );
             }
         }
     }

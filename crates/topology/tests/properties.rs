@@ -61,7 +61,7 @@ proptest! {
         let path = xy.path(src, dst);
         let expect = topo.hop_distance(topo.router_of_core(src), topo.router_of_core(dst));
         prop_assert_eq!(path.len() as u32 - 1, expect);
-        prop_assert_eq!(*path.last().unwrap(), topo.router_of_core(dst));
+        prop_assert_eq!(*path.last().expect("paths are non-empty"), topo.router_of_core(dst));
         let mut seen_y = false;
         for w in path.windows(2) {
             let a = topo.coord(w[0]);
@@ -86,14 +86,14 @@ proptest! {
         for w in path.windows(2) {
             prop_assert_eq!(xy.next_hop(w[0], dst), Some(w[1]));
         }
-        prop_assert_eq!(xy.next_hop(*path.last().unwrap(), dst), None);
+        prop_assert_eq!(xy.next_hop(*path.last().expect("paths are non-empty"), dst), None);
     }
 
     /// Port indices are dense and invertible for every concentration.
     #[test]
     fn port_index_bijection(c in 1usize..6) {
         for i in 0..4 + c {
-            let p = Port::from_index(i, c).unwrap();
+            let p = Port::from_index(i, c).expect("index below 4 + concentration is valid");
             prop_assert_eq!(p.index(), i);
         }
         prop_assert_eq!(Port::from_index(4 + c, c), None);

@@ -37,6 +37,14 @@ pub enum ConfigError {
     /// A campaign restricted to an empty model set would run nothing and
     /// produce summaries with no baseline row.
     EmptyModelSet,
+    /// Router pipeline depth of zero: the ready-tick arithmetic charges
+    /// `pipeline_cycles - 1` extra cycles per buffered flit, so a zero
+    /// depth would underflow (a flit must spend at least the ST cycle in
+    /// a router anyway).
+    DegeneratePipeline {
+        /// The rejected pipeline depth.
+        pipeline_cycles: u64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -53,6 +61,10 @@ impl core::fmt::Display for ConfigError {
                 write!(f, "load scale {num}/{den} has a zero term")
             }
             ConfigError::EmptyModelSet => write!(f, "campaign model set is empty"),
+            ConfigError::DegeneratePipeline { pipeline_cycles } => write!(
+                f,
+                "degenerate router pipeline: {pipeline_cycles} cycles (minimum 1)"
+            ),
         }
     }
 }

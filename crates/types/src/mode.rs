@@ -95,7 +95,9 @@ impl Mode {
     /// Zero-based rank among active modes (0–4), handy for array indexing.
     #[inline]
     pub const fn rank(self) -> usize {
-        (self.index() - 3) as usize
+        // index() is 3–7 by construction, so the subtraction cannot
+        // underflow and the widening u8→usize conversion is lossless.
+        (self.index() - 3) as usize // xtask-lint: allow(lossy-cast) — u8→usize widens
     }
 
     /// Inverse of [`Mode::index`]. Returns `None` for 1 (inactive),
@@ -126,13 +128,13 @@ impl Mode {
     /// Next mode up, saturating at M7.
     #[inline]
     pub fn step_up(self) -> Mode {
-        Mode::from_rank((self.rank() + 1).min(4)).unwrap()
+        Mode::from_rank((self.rank() + 1).min(4)).expect("saturated rank 0–4 is always a mode")
     }
 
     /// Next mode down, saturating at M3.
     #[inline]
     pub fn step_down(self) -> Mode {
-        Mode::from_rank(self.rank().saturating_sub(1)).unwrap()
+        Mode::from_rank(self.rank().saturating_sub(1)).expect("saturated rank 0–4 is always a mode")
     }
 }
 

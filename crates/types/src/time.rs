@@ -12,6 +12,21 @@ pub const BASE_CLOCK_GHZ: u64 = 18;
 /// Number of base ticks per nanosecond (identical to [`BASE_CLOCK_GHZ`]).
 pub const TICKS_PER_NS: u64 = BASE_CLOCK_GHZ;
 
+/// The single authorized float→tick conversion: saturates at the
+/// representable range instead of relying on an unchecked truncating
+/// cast, and rejects NaN / negative inputs under debug assertions.
+/// All other tick math stays in integer arithmetic (`cargo xtask lint`
+/// forbids further lossy `as` casts in this module).
+#[inline]
+fn ticks_from_f64_saturating(ticks: f64) -> u64 {
+    debug_assert!(!ticks.is_nan(), "tick count is NaN");
+    debug_assert!(ticks >= 0.0, "negative tick count {ticks}");
+    // f64→u64 `as` casts saturate (NaN maps to 0), which is exactly the
+    // release-mode fallback wanted here.
+    // xtask-lint: allow(lossy-cast) — saturating by construction
+    ticks as u64
+}
+
 /// An absolute point in simulated time, measured in base ticks.
 ///
 /// `SimTime` is a transparent `u64` newtype: arithmetic that could make
@@ -41,10 +56,11 @@ impl SimTime {
     }
 
     /// Construct from nanoseconds, rounding *up* so that delays derived
-    /// from measured regulator latencies are never optimistic.
+    /// from measured regulator latencies are never optimistic. Saturates
+    /// at `u64::MAX` ticks; debug builds reject NaN and negative inputs.
     #[inline]
     pub fn from_ns_ceil(ns: f64) -> Self {
-        SimTime((ns * TICKS_PER_NS as f64).ceil() as u64)
+        SimTime(ticks_from_f64_saturating((ns * TICKS_PER_NS as f64).ceil()))
     }
 
     /// Raw tick count.
@@ -79,10 +95,18 @@ impl SimTime {
         TickDelta(self.0 - earlier.0)
     }
 
-    /// This time advanced by `delta`.
+    /// This time advanced by `delta`. Overflow is a simulation bug
+    /// (2⁶⁴ ticks ≈ 32 years of simulated time); debug builds reject it,
+    /// release builds saturate instead of wrapping time backwards.
     #[inline]
     pub fn after(self, delta: TickDelta) -> SimTime {
-        SimTime(self.0 + delta.0)
+        debug_assert!(
+            self.0.checked_add(delta.0).is_some(),
+            "SimTime overflow: {} + {}",
+            self.0,
+            delta.0
+        );
+        SimTime(self.0.saturating_add(delta.0))
     }
 }
 
@@ -97,16 +121,21 @@ impl TickDelta {
     }
 
     /// Construct from nanoseconds, rounding up (pessimistic for delays).
+    /// Saturates at `u64::MAX` ticks; debug builds reject NaN and
+    /// negative inputs.
     #[inline]
     pub fn from_ns_ceil(ns: f64) -> Self {
-        TickDelta((ns * TICKS_PER_NS as f64).ceil() as u64)
+        TickDelta(ticks_from_f64_saturating((ns * TICKS_PER_NS as f64).ceil()))
     }
 
     /// Span expressed as local cycles of a clock with the given tick
-    /// divisor, rounding up.
+    /// divisor, rounding up. A zero divisor is a caller bug (no V/F mode
+    /// has one); debug builds reject it, release builds clamp to 1
+    /// instead of dividing by zero.
     #[inline]
     pub fn as_cycles_ceil(self, divisor: u64) -> u64 {
-        self.0.div_ceil(divisor)
+        debug_assert!(divisor > 0, "zero clock divisor");
+        self.0.div_ceil(divisor.max(1))
     }
 
     /// Raw tick count.
@@ -138,7 +167,7 @@ impl core::ops::Add<TickDelta> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: TickDelta) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.after(rhs)
     }
 }
 
@@ -146,14 +175,20 @@ impl core::ops::Add for TickDelta {
     type Output = TickDelta;
     #[inline]
     fn add(self, rhs: TickDelta) -> TickDelta {
-        TickDelta(self.0 + rhs.0)
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "TickDelta overflow: {} + {}",
+            self.0,
+            rhs.0
+        );
+        TickDelta(self.0.saturating_add(rhs.0))
     }
 }
 
 impl core::ops::AddAssign for TickDelta {
     #[inline]
     fn add_assign(&mut self, rhs: TickDelta) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -161,7 +196,12 @@ impl core::ops::Mul<u64> for TickDelta {
     type Output = TickDelta;
     #[inline]
     fn mul(self, rhs: u64) -> TickDelta {
-        TickDelta(self.0 * rhs)
+        debug_assert!(
+            self.0.checked_mul(rhs).is_some(),
+            "TickDelta overflow: {} × {rhs}",
+            self.0
+        );
+        TickDelta(self.0.saturating_mul(rhs))
     }
 }
 
@@ -217,6 +257,25 @@ mod tests {
         assert_eq!(TickDelta::from_ticks(159).as_cycles_ceil(18), 9);
         assert_eq!(TickDelta::from_ticks(160).as_cycles_ceil(8), 20);
         assert_eq!(TickDelta::ZERO.as_cycles_ceil(18), 0);
+    }
+
+    #[test]
+    fn from_ns_ceil_saturates_at_range_end() {
+        // Out-of-range inputs clamp to the last representable tick
+        // instead of wrapping through an unchecked cast.
+        assert_eq!(SimTime::from_ns_ceil(f64::INFINITY).ticks(), u64::MAX);
+        assert_eq!(TickDelta::from_ns_ceil(1e300).ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_divisor_is_rejected_or_clamped() {
+        if cfg!(debug_assertions) {
+            let r = std::panic::catch_unwind(|| TickDelta::from_ticks(5).as_cycles_ceil(0));
+            assert!(r.is_err(), "debug build must reject a zero divisor");
+        } else {
+            // Release builds clamp to divisor 1 instead of faulting.
+            assert_eq!(TickDelta::from_ticks(5).as_cycles_ceil(0), 5);
+        }
     }
 
     #[test]

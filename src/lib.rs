@@ -48,16 +48,17 @@ pub use dozznoc_types as types;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use dozznoc_core::{
-        run_model, run_model_with_telemetry, Adaptive, Baseline, Campaign, Collector, ModelKind,
-        ModelSuite, Oracle, PowerGated, Proactive, Reactive, Trainer,
+        run_model, run_model_sanitized, run_model_with_telemetry, Adaptive, Baseline, Campaign,
+        Collector, ModelKind, ModelSuite, Oracle, PowerGated, Proactive, Reactive, Trainer,
     };
     pub use dozznoc_ml::{
         mode_of_utilization, mode_selection_accuracy, Dataset, FeatureSet, RidgeRegression,
         TrainedModel,
     };
     pub use dozznoc_noc::{
-        AlwaysMode, DecisionTrace, EpochObservation, EpochSample, JsonlSink, Network, NocConfig,
-        NullSink, PowerPolicy, RunReport, Telemetry, TimelineSink,
+        AlwaysMode, DecisionTrace, EpochObservation, EpochSample, InvariantViolation, JsonlSink,
+        Network, NocConfig, NullSink, PowerPolicy, RunReport, SanitizerConfig, SanitizerReport,
+        SimSanitizer, Telemetry, TimelineSink, ViolationKind,
     };
     pub use dozznoc_power::{
         DsentCosts, EnergyDelta, EnergyLedger, EnergyReport, MlOverhead, SimoRegulator,
