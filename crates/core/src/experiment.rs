@@ -1,14 +1,30 @@
 //! High-level experiment API: train once, run any model on any trace,
 //! or fan a whole campaign across benchmarks.
+//!
+//! Campaign execution goes through one engine ([`Campaign::run_cells`]):
+//! the (benchmark, model) matrix flattens into independent cells drained
+//! by the work-stealing scheduler ([`crate::schedule`]), traces are
+//! generated once per benchmark and shared across cells, results land in
+//! pre-sized indexed slots, and an optional content-addressed run cache
+//! ([`crate::cache`]) replays previously simulated cells from disk.
+//! Every configuration — any `jobs` count, warm or cold cache — produces
+//! bit-identical results (see `tests/determinism.rs`).
+
+use std::num::NonZeroUsize;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
-use dozznoc_noc::{Network, NocConfig, NullSink, RunReport, SimSanitizer, Telemetry};
+use dozznoc_noc::{
+    Network, NocConfig, NullSink, RunReport, SanitizerReport, SimSanitizer, Telemetry,
+};
 use dozznoc_topology::Topology;
 use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
 use dozznoc_types::ConfigError;
 
+use crate::cache::{self, RunCache};
 use crate::model::{ModelKind, ALL_MODELS};
+use crate::schedule;
 use crate::training::ModelSuite;
 
 /// Run one model on one trace and report.
@@ -155,21 +171,109 @@ impl Campaign {
         t.rescale(num, den)
     }
 
-    /// Run every model over every benchmark. Benchmarks fan out across
-    /// scoped threads — each thread owns its trace and policies, results
-    /// merge at the join.
+    /// The campaign's flat cell list: benchmark-major, model-minor —
+    /// the presentation order every figure prints in. Cell `i` of any
+    /// engine run corresponds to entry `i` here, which is what makes
+    /// result ordering structural instead of sorted.
+    fn cells(&self, benches: &[Benchmark]) -> Vec<(usize, Benchmark, ModelKind)> {
+        let mut cells = Vec::with_capacity(benches.len() * self.models.len());
+        for (bi, &bench) in benches.iter().enumerate() {
+            for &model in &self.models {
+                cells.push((bi, bench, model));
+            }
+        }
+        cells
+    }
+
+    /// Run every model over every benchmark with the default engine
+    /// (all available cores, no cache).
     pub fn run(&self, benches: &[Benchmark], suite: &ModelSuite) -> Vec<CampaignResult> {
-        self.run_with_telemetry(benches, suite, |_, _| NullSink)
+        self.run_cells(benches, suite, &EngineOptions::default())
             .into_iter()
-            .map(|(result, _)| result)
+            .map(|cell| cell.result)
             .collect()
+    }
+
+    /// Run the campaign matrix through the cell engine.
+    ///
+    /// Each (benchmark, model) cell is an independent task drained from
+    /// a shared injector by `opts.jobs` workers (default: all available
+    /// cores). Traces are generated once per benchmark — by whichever
+    /// worker gets there first — and shared by reference-counted handle
+    /// with every cell of that benchmark. With `opts.cache` set, cells
+    /// whose fingerprint is already stored replay from disk without
+    /// simulating; fresh simulations are stored on completion. With
+    /// `opts.sanitize`, simulated cells run under a fresh
+    /// [`SimSanitizer`] whose report rides along (cache hits skip
+    /// simulation and so carry no sanitizer report).
+    ///
+    /// Results arrive in cell order (benchmark-major, model-minor),
+    /// bit-identical for every `jobs` count and cache state.
+    pub fn run_cells(
+        &self,
+        benches: &[Benchmark],
+        suite: &ModelSuite,
+        opts: &EngineOptions<'_>,
+    ) -> Vec<CellRun> {
+        let cfg = self.config();
+        let cells = self.cells(benches);
+        let base = opts.cache.map(|_| cache::campaign_base(&cfg, suite));
+        // One lazily generated (trace, digest) per benchmark, shared by
+        // all of its cells.
+        let traces: Vec<OnceLock<(Arc<Trace>, u64)>> =
+            benches.iter().map(|_| OnceLock::new()).collect();
+
+        let jobs = opts.jobs.unwrap_or_else(schedule::default_jobs);
+        schedule::run_indexed(jobs, cells.len(), |i| {
+            let (bi, bench, model) = cells[i];
+            let (trace, digest) = traces[bi].get_or_init(|| {
+                let trace = self.trace(bench);
+                let digest = trace.digest();
+                (Arc::new(trace), digest)
+            });
+            let trace = Arc::clone(trace);
+            let result = |report| CampaignResult {
+                benchmark: bench.name().to_string(),
+                model,
+                report,
+            };
+
+            let fp = base.map(|b| cache::cell_fingerprint(b, *digest, model));
+            if let (Some(cache), Some(fp)) = (opts.cache, fp) {
+                if let Some(report) = cache.get(fp, model, &trace.name) {
+                    return CellRun {
+                        result: result(report),
+                        cache_hit: true,
+                        sanitizer: None,
+                    };
+                }
+            }
+
+            let (report, sanitizer) = if opts.sanitize {
+                let mut san = SimSanitizer::default();
+                let report =
+                    run_model_sanitized(cfg, &trace, model, suite, &mut NullSink, &mut san);
+                (report, Some(san.report()))
+            } else {
+                (run_model(cfg, &trace, model, suite), None)
+            };
+            if let (Some(cache), Some(fp)) = (opts.cache, fp) {
+                cache.put(fp, model, &report);
+            }
+            CellRun {
+                result: result(report),
+                cache_hit: false,
+                sanitizer,
+            }
+        })
     }
 
     /// Run every model over every benchmark, giving each
     /// (benchmark, model) cell its own telemetry sink built by
     /// `make_sink`. Workers own their sinks for the duration of the
-    /// cell's run; sinks merge back with their results at the join, in
-    /// deterministic (benchmark, model) order.
+    /// cell's run; sinks return with their results in cell order
+    /// (benchmark, then model). Telemetry observes simulations, so this
+    /// path never consults the run cache.
     pub fn run_with_telemetry<T, F>(
         &self,
         benches: &[Benchmark],
@@ -180,44 +284,53 @@ impl Campaign {
         T: Telemetry + Send,
         F: Fn(Benchmark, ModelKind) -> T + Sync,
     {
-        let results = std::sync::Mutex::new(Vec::with_capacity(benches.len() * self.models.len()));
-        std::thread::scope(|scope| {
-            for &bench in benches {
-                let results = &results;
-                let make_sink = &make_sink;
-                scope.spawn(move || {
-                    let trace = self.trace(bench);
-                    for &model in &self.models {
-                        let mut sink = make_sink(bench, model);
-                        let report = run_model_with_telemetry(
-                            self.config(),
-                            &trace,
-                            model,
-                            suite,
-                            &mut sink,
-                        );
-                        results.lock().expect("campaign mutex poisoned").push((
-                            CampaignResult {
-                                benchmark: bench.name().to_string(),
-                                model,
-                                report,
-                            },
-                            sink,
-                        ));
-                    }
-                });
-            }
-        });
-        let mut out = results.into_inner().expect("campaign mutex poisoned");
-        // Deterministic presentation order: benchmark, then model.
-        out.sort_by_key(|(r, _)| {
+        let cfg = self.config();
+        let cells = self.cells(benches);
+        let traces: Vec<OnceLock<Arc<Trace>>> = benches.iter().map(|_| OnceLock::new()).collect();
+        schedule::run_indexed(schedule::default_jobs(), cells.len(), |i| {
+            let (bi, bench, model) = cells[i];
+            let trace = Arc::clone(traces[bi].get_or_init(|| Arc::new(self.trace(bench))));
+            let mut sink = make_sink(bench, model);
+            let report = run_model_with_telemetry(cfg, &trace, model, suite, &mut sink);
             (
-                benches.iter().position(|b| b.name() == r.benchmark),
-                self.models.iter().position(|m| *m == r.model),
+                CampaignResult {
+                    benchmark: bench.name().to_string(),
+                    model,
+                    report,
+                },
+                sink,
             )
-        });
-        out
+        })
     }
+}
+
+/// How [`Campaign::run_cells`] executes the matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions<'a> {
+    /// Worker threads draining the cell injector. `None` uses
+    /// [`schedule::default_jobs`] (the machine's available
+    /// parallelism); `jobs = 1` runs inline with no threads at all.
+    pub jobs: Option<NonZeroUsize>,
+    /// Content-addressed run cache to consult and fill. `None` always
+    /// simulates.
+    pub cache: Option<&'a RunCache>,
+    /// Run simulated cells under a runtime invariant sanitizer and
+    /// attach its per-cell report.
+    pub sanitize: bool,
+}
+
+/// One executed (or replayed) campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell's result, exactly as a cache-less sequential run would
+    /// produce it.
+    pub result: CampaignResult,
+    /// True when the report was replayed from the run cache (no
+    /// simulation happened).
+    pub cache_hit: bool,
+    /// The sanitizer's findings, when the cell was simulated under
+    /// [`EngineOptions::sanitize`].
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// Aggregate a campaign into per-model means relative to the baseline

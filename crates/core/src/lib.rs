@@ -21,18 +21,24 @@
 //! regression fits them with λ tuned on the three validation traces, and
 //! the exported [`dozznoc_ml::TrainedModel`] drives proactive mode
 //! selection on the five held-out test traces. [`experiment`] wraps the
-//! whole thing behind a one-call API.
+//! whole thing behind a one-call API, executing campaign matrices on
+//! the [`schedule`] work-stealing cell scheduler with an optional
+//! content-addressed run [`cache`].
 
+pub mod cache;
 pub mod collect;
 pub mod experiment;
 pub mod features;
 pub mod model;
 pub mod policy;
+pub mod schedule;
 pub mod training;
 
+pub use cache::{CacheStats, Fingerprint, RunCache};
 pub use collect::Collector;
 pub use experiment::{
-    run_model, run_model_sanitized, run_model_with_telemetry, Campaign, CampaignResult,
+    run_model, run_model_sanitized, run_model_with_telemetry, Campaign, CampaignResult, CellRun,
+    EngineOptions,
 };
 pub use features::{extract_features, feature_value};
 pub use model::ModelKind;

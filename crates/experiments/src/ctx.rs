@@ -1,8 +1,12 @@
-//! Shared experiment context: output directory, quick mode, seed.
+//! Shared experiment context: output directory, quick mode, seed,
+//! engine parallelism and run-cache control.
 
 use std::fs;
 use std::io::Write;
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
+
+use dozznoc_core::{EngineOptions, RunCache};
 
 /// Parsed command-line context shared by every experiment.
 pub struct Ctx {
@@ -16,11 +20,19 @@ pub struct Ctx {
     pub bench: Option<String>,
     /// Model selector (`--model`), for commands that run one policy.
     pub model: Option<String>,
+    /// Worker threads for campaign matrices (`--jobs N`, or the
+    /// `DOZZ_JOBS` env var). `None` uses every available core.
+    pub jobs: Option<NonZeroUsize>,
+    /// Disable the content-addressed run cache (`--no-cache`): every
+    /// cell simulates even when a stored report exists.
+    pub no_cache: bool,
 }
 
 impl Ctx {
     /// Parse `--quick`, `--out DIR`, `--seed N`, `--bench NAME`,
-    /// `--model NAME` from the argument list.
+    /// `--model NAME`, `--jobs N`, `--no-cache` from the argument list.
+    /// When `--jobs` is absent, the `DOZZ_JOBS` environment variable is
+    /// consulted.
     pub fn from_args(args: &[String]) -> Ctx {
         let mut ctx = Ctx {
             out_dir: PathBuf::from("results"),
@@ -28,11 +40,18 @@ impl Ctx {
             seed: 0,
             bench: None,
             model: None,
+            jobs: None,
+            no_cache: false,
+        };
+        let parse_jobs = |s: &str, origin: &str| -> NonZeroUsize {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{origin} needs a positive integer, got `{s}`"))
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => ctx.quick = true,
+                "--no-cache" => ctx.no_cache = true,
                 "--out" => {
                     ctx.out_dir =
                         PathBuf::from(it.next().expect("--out needs a directory argument"))
@@ -43,6 +62,10 @@ impl Ctx {
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs an integer")
                 }
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a worker count");
+                    ctx.jobs = Some(parse_jobs(v, "--jobs"));
+                }
                 "--bench" => {
                     ctx.bench = Some(it.next().expect("--bench needs a benchmark name").clone())
                 }
@@ -50,6 +73,11 @@ impl Ctx {
                     ctx.model = Some(it.next().expect("--model needs a model name").clone())
                 }
                 other => panic!("unknown flag `{other}`"),
+            }
+        }
+        if ctx.jobs.is_none() {
+            if let Ok(v) = std::env::var("DOZZ_JOBS") {
+                ctx.jobs = Some(parse_jobs(&v, "DOZZ_JOBS"));
             }
         }
         ctx
@@ -61,6 +89,22 @@ impl Ctx {
             4_000
         } else {
             50_000
+        }
+    }
+
+    /// The run cache campaign commands share, under
+    /// `<out>/.runcache/` — or `None` with `--no-cache`.
+    pub fn run_cache(&self) -> Option<RunCache> {
+        (!self.no_cache).then(|| RunCache::open(self.out_dir.join(".runcache")))
+    }
+
+    /// Engine options for a campaign run: `--jobs` workers and the
+    /// given cache handle.
+    pub fn engine_opts<'a>(&self, cache: Option<&'a RunCache>) -> EngineOptions<'a> {
+        EngineOptions {
+            jobs: self.jobs,
+            cache,
+            sanitize: false,
         }
     }
 

@@ -1,0 +1,40 @@
+//! Shared campaign execution for the matrix commands.
+//!
+//! Every command that evaluates a (benchmark × model) matrix funnels
+//! through [`run_campaign`]: cells run on the work-stealing scheduler
+//! (`--jobs N` workers, default every core), previously simulated cells
+//! replay from the content-addressed run cache under
+//! `<out>/.runcache/`, and the cache outcome is logged so warm reruns
+//! are visible. `--no-cache` forces every cell to simulate.
+
+use dozznoc_core::{Campaign, CampaignResult, ModelSuite, RunCache};
+use dozznoc_traffic::Benchmark;
+
+use crate::ctx::Ctx;
+
+/// Run a campaign through the shared engine and return its results in
+/// presentation order.
+pub fn run_campaign(
+    ctx: &Ctx,
+    campaign: &Campaign,
+    benches: &[Benchmark],
+    suite: &ModelSuite,
+) -> Vec<CampaignResult> {
+    let cache = ctx.run_cache();
+    let cells = campaign.run_cells(benches, suite, &ctx.engine_opts(cache.as_ref()));
+    let hits = cells.iter().filter(|c| c.cache_hit).count();
+    log_cache(cache.as_ref(), hits, cells.len());
+    cells.into_iter().map(|cell| cell.result).collect()
+}
+
+/// One consistent line about a campaign's cache outcome.
+pub fn log_cache(cache: Option<&RunCache>, hits: usize, cells: usize) {
+    match cache {
+        Some(cache) => eprintln!(
+            "  run cache: {hits}/{cells} cells replayed, {sims} simulated ({dir})",
+            sims = cells - hits,
+            dir = cache.dir().display()
+        ),
+        None => eprintln!("  run cache: disabled (--no-cache), {cells} cells simulated"),
+    }
+}

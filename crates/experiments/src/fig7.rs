@@ -7,6 +7,7 @@ use dozznoc_topology::Topology;
 use dozznoc_traffic::TEST_BENCHMARKS;
 
 use crate::ctx::{banner, Ctx};
+use crate::engine;
 use crate::suite::suite_for;
 
 const ML_MODELS: [ModelKind; 3] = [ModelKind::DozzNoc, ModelKind::LeadDvfs, ModelKind::MlTurbo];
@@ -21,7 +22,7 @@ pub fn run(ctx: &Ctx) {
         .with_seed(ctx.seed)
         .try_with_models(&ML_MODELS)
         .expect("non-empty model set");
-    let results = campaign.run(&TEST_BENCHMARKS, &suite);
+    let results = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
 
     let mut rows = Vec::new();
     for model in ML_MODELS {

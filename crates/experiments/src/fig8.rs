@@ -12,6 +12,7 @@ use dozznoc_topology::Topology;
 use dozznoc_traffic::TEST_BENCHMARKS;
 
 use crate::ctx::{banner, Ctx};
+use crate::engine;
 use crate::suite::suite_for;
 
 /// Regenerate all three panels.
@@ -20,16 +21,16 @@ pub fn run(ctx: &Ctx) {
     let topo = Topology::mesh8x8();
     let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
 
-    let compressed = Campaign::new(topo)
+    let campaign = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
         .with_seed(ctx.seed)
         .try_with_load_scale(2, 3)
-        .expect("2/3 compression is valid")
-        .run(&TEST_BENCHMARKS, &suite);
-    let uncompressed = Campaign::new(topo)
+        .expect("2/3 compression is valid");
+    let compressed = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
+    let campaign = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
-        .with_seed(ctx.seed)
-        .run(&TEST_BENCHMARKS, &suite);
+        .with_seed(ctx.seed);
+    let uncompressed = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
 
     println!("\n(a) throughput, compressed traces (flits/ns)");
     print_panel(

@@ -9,6 +9,7 @@ use dozznoc_topology::Topology;
 use dozznoc_traffic::TEST_BENCHMARKS;
 
 use crate::ctx::{banner, Ctx};
+use crate::engine;
 use crate::suite::suite_for;
 
 /// Paper-quoted values for the comparison printout:
@@ -33,10 +34,10 @@ pub fn run(ctx: &Ctx) {
             topo.kind()
         ));
         let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
-        let results = Campaign::new(topo)
+        let campaign = Campaign::new(topo)
             .with_duration_ns(ctx.duration_ns())
-            .with_seed(ctx.seed)
-            .run(&TEST_BENCHMARKS, &suite);
+            .with_seed(ctx.seed);
+        let results = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
         let summaries = summarize(&results);
 
         println!(
@@ -107,12 +108,12 @@ pub fn ablation_features(ctx: &Ctx) {
     let mut rows = Vec::new();
     for fs in [FeatureSet::Reduced5, FeatureSet::Full41] {
         let suite = suite_for(ctx, topo, 500, fs);
-        let results = Campaign::new(topo)
+        let campaign = Campaign::new(topo)
             .with_duration_ns(ctx.duration_ns())
             .with_seed(ctx.seed)
             .try_with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
-            .expect("non-empty model set")
-            .run(&TEST_BENCHMARKS, &suite);
+            .expect("non-empty model set");
+        let results = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
         let summary = summarize(&results)
             .into_iter()
             .find(|s| s.model == ModelKind::DozzNoc)

@@ -10,6 +10,7 @@ use dozznoc_topology::Topology;
 use dozznoc_traffic::TEST_BENCHMARKS;
 
 use crate::ctx::{banner, Ctx};
+use crate::engine;
 use crate::suite::suite_for;
 
 /// Regenerate the latency-percentile table.
@@ -17,10 +18,10 @@ pub fn run(ctx: &Ctx) {
     banner("Latency distribution — network latency percentiles (mesh, uncompressed)");
     let topo = Topology::mesh8x8();
     let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
-    let results = Campaign::new(topo)
+    let campaign = Campaign::new(topo)
         .with_duration_ns(ctx.duration_ns())
-        .with_seed(ctx.seed)
-        .run(&TEST_BENCHMARKS, &suite);
+        .with_seed(ctx.seed);
+    let results = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
 
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",

@@ -1,7 +1,7 @@
 //! `dozz-repro` — regenerate every table and figure of the DozzNoC paper.
 //!
 //! ```text
-//! dozz-repro <command> [--quick] [--out DIR] [--seed N]
+//! dozz-repro <command> [--quick] [--out DIR] [--seed N] [--jobs N] [--no-cache]
 //!
 //! commands:
 //!   table1            LDO dropout ranges (Table I)
@@ -31,12 +31,17 @@
 //! ```
 //!
 //! `--quick` shortens traces (4 µs instead of 50 µs) for smoke runs.
+//! Campaign matrices run on `--jobs N` worker threads (default: every
+//! available core, or the `DOZZ_JOBS` env var) and replay previously
+//! simulated cells from the content-addressed run cache under
+//! `<out>/.runcache/`; `--no-cache` forces every cell to simulate.
 //! Results print as paper-style rows and are also written as CSV under
 //! `--out` (default `results/`).
 
 mod ablations;
 mod check;
 mod ctx;
+mod engine;
 mod fig5;
 mod fig6;
 mod fig7;
@@ -121,9 +126,13 @@ fn main() {
 const HELP: &str = "\
 dozz-repro — regenerate the DozzNoC paper's tables and figures
 
-usage: dozz-repro <command> [--quick] [--out DIR] [--seed N]
+usage: dozz-repro <command> [--quick] [--out DIR] [--seed N] [--jobs N] [--no-cache]
        dozz-repro timeline [--bench NAME] [--model NAME] [flags above]
        dozz-repro check [--bench NAME] [flags above]
+
+campaign matrices run on --jobs N workers (default: all cores, or the
+DOZZ_JOBS env var) with a content-addressed run cache under
+<out>/.runcache/; --no-cache forces every cell to simulate.
 
 commands: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
           headline sweep-epoch overhead ablation-features ablation-gating

@@ -10,6 +10,7 @@ use dozznoc_topology::Topology;
 use dozznoc_traffic::TEST_BENCHMARKS;
 
 use crate::ctx::{banner, Ctx};
+use crate::engine;
 use crate::suite::suite_for;
 
 /// Epoch sizes swept (paper: "multiple epoch sizes (100 – 1000)").
@@ -26,14 +27,14 @@ pub fn run(ctx: &Ctx) {
     let mut rows = Vec::new();
     for epoch in EPOCH_SIZES {
         let suite = suite_for(ctx, topo, epoch, FeatureSet::Reduced5);
-        let results = Campaign::new(topo)
+        let campaign = Campaign::new(topo)
             .try_with_epoch_cycles(epoch)
             .expect("sweep epoch sizes are valid")
             .with_duration_ns(ctx.duration_ns())
             .with_seed(ctx.seed)
             .try_with_models(&[ModelKind::Baseline, ModelKind::DozzNoc])
-            .expect("non-empty model set")
-            .run(&TEST_BENCHMARKS, &suite);
+            .expect("non-empty model set");
+        let results = engine::run_campaign(ctx, &campaign, &TEST_BENCHMARKS, &suite);
         let s = summarize(&results)
             .into_iter()
             .find(|s| s.model == ModelKind::DozzNoc)

@@ -44,5 +44,5 @@ pub use policy::{AlwaysMode, PowerPolicy};
 pub use sanitizer::{
     InvariantViolation, SanitizerConfig, SanitizerReport, SimSanitizer, ViolationKind,
 };
-pub use stats::{RouterSummary, RunReport, RunStats};
+pub use stats::{RouterSummary, RunReport, RunStats, REPORT_FORMAT_VERSION};
 pub use telemetry::{DecisionTrace, EpochSample, JsonlSink, NullSink, Telemetry, TimelineSink};

@@ -7,6 +7,18 @@ use dozznoc_types::SimTime;
 
 use crate::histogram::LatencyHistogram;
 
+/// Version stamp of the serialized [`RunReport`] format *and* of the
+/// simulator behavior it records. Content-addressed stores of
+/// serialized reports (the experiment engine's run cache) mix this into
+/// their keys, so bump it whenever either changes:
+///
+/// * a field is added to / removed from / re-ordered in [`RunReport`],
+///   [`RunStats`], [`RouterSummary`] or anything they embed, or
+/// * an *intentional* behavioral change lands (one that re-blesses the
+///   `tests/determinism.rs` goldens) — a stale cache entry from the
+///   previous behavior would otherwise keep masquerading as current.
+pub const REPORT_FORMAT_VERSION: u32 = 1;
+
 /// Counters accumulated over one run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunStats {

@@ -90,6 +90,46 @@ impl Trace {
         )
     }
 
+    /// Stable 64-bit FNV-1a content digest of the trace: name, core
+    /// count, and every packet record (injection tick, source,
+    /// destination, kind) in time order.
+    ///
+    /// The digest is a pure function of trace *content* — two traces
+    /// built from the same generator inputs (benchmark, seed, duration,
+    /// load scale) digest identically across processes and platforms,
+    /// which is what lets the run cache key simulations on it. It is
+    /// not cryptographic; the cache re-validates the trace name on
+    /// every hit.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in self.name.bytes() {
+            eat(b);
+        }
+        let mut eat_u64 = |v: u64| {
+            for b in v.to_le_bytes() {
+                eat(b);
+            }
+        };
+        eat_u64(self.num_cores as u64);
+        eat_u64(self.packets.len() as u64);
+        for p in &self.packets {
+            eat_u64(p.inject_time.ticks());
+            eat_u64(p.src.idx() as u64);
+            eat_u64(p.dst.idx() as u64);
+            eat_u64(match p.kind {
+                PacketKind::Request => 0,
+                PacketKind::Response => 1,
+            });
+        }
+        h
+    }
+
     /// Summary statistics used for calibration checks.
     pub fn stats(&self) -> TraceStats {
         let horizon = self.horizon();
@@ -210,6 +250,23 @@ mod tests {
         // 2 requests × 1 flit + 1 response × 5 flits.
         assert_eq!(s.flits, 7);
         assert_eq!(s.active_cores, 3);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_addressed() {
+        let t = sample();
+        // Same content → same digest, every time.
+        assert_eq!(t.digest(), sample().digest());
+        // Any field change moves the digest: name, load scale, records.
+        let renamed = Trace::new("other", 4, t.packets().to_vec());
+        assert_ne!(t.digest(), renamed.digest());
+        assert_ne!(t.digest(), t.compress(2).digest());
+        let fewer = Trace::new("t", 4, t.packets()[..2].to_vec());
+        assert_ne!(t.digest(), fewer.digest());
+        // Kind matters even when the timing is identical.
+        let mut flipped = t.packets().to_vec();
+        flipped[0].kind = PacketKind::Response;
+        assert_ne!(t.digest(), Trace::new("t", 4, flipped).digest());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!    - no narrowing casts of `.ticks()` anywhere in the workspace
 //!      (a `u64` tick count squeezed into `u32` truncates silently after
 //!      ~4 seconds of simulated time at 18 GHz),
+//!    - no `thread::spawn`/`thread::scope`/`thread::Builder` outside
+//!      the cell scheduler (`crates/core/src/schedule.rs`) — every
+//!      parallel fan-out must route through
+//!      `dozznoc_core::schedule::run_indexed` so the determinism suite
+//!      covers it; escapes carry `xtask-lint: allow(thread-spawn)`,
 //!    - no `unwrap()` in the hot-path modules (`noc/src/network.rs`,
 //!      `noc/src/router.rs`) outside their test modules — redundant with
 //!      the clippy table, but this scan needs no compilation and names
@@ -44,6 +49,19 @@ use std::process::{Command, ExitCode};
 /// lossy-cast scan. Kept deliberately verbose so it cannot appear by
 /// accident.
 const LOSSY_CAST_ALLOW: &str = "xtask-lint: allow(lossy-cast)";
+
+/// Marker that exempts a line (or the line directly below it) from the
+/// thread-spawn scan.
+const THREAD_SPAWN_ALLOW: &str = "xtask-lint: allow(thread-spawn)";
+
+/// The one module allowed to spawn threads: the work-stealing cell
+/// scheduler. Everything else must fan out through it so the
+/// determinism suite (`tests/determinism.rs`) vouches for every
+/// parallel caller at once.
+const SCHEDULER_MODULE: &str = "crates/core/src/schedule.rs";
+
+/// Thread-creation forms the spawn scan rejects outside the scheduler.
+const THREAD_SPAWN_FORMS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
 
 /// Cast targets considered lossy in tick/mode arithmetic: every integer
 /// target (truncating from float, narrowing from wider ints) plus `f32`
@@ -200,7 +218,11 @@ fn scan_tree(root: &Path) -> Vec<Finding> {
     }
 
     for rel in rust_sources(root) {
-        findings.extend(scan_tick_narrowing(&rel, &read(root, &rel)));
+        let src = read(root, &rel);
+        findings.extend(scan_tick_narrowing(&rel, &src));
+        if rel != SCHEDULER_MODULE {
+            findings.extend(scan_thread_spawns(&rel, &src));
+        }
     }
 
     for rel in ["crates/noc/src/network.rs", "crates/noc/src/router.rs"] {
@@ -378,6 +400,39 @@ fn scan_tick_narrowing(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule: threads are spawned only by the cell scheduler
+/// (`crates/core/src/schedule.rs`). Any `thread::spawn`,
+/// `thread::scope` or `thread::Builder` elsewhere bypasses the
+/// injector/indexed-slot machinery that keeps parallel campaign runs
+/// bit-identical to sequential ones, so it must either route through
+/// [`SCHEDULER_MODULE`] or carry the allow marker (same line or the
+/// line directly above).
+fn scan_thread_spawns(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut prev_allows = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let allows = raw.contains(THREAD_SPAWN_ALLOW);
+        if !allows && !prev_allows {
+            let code = strip_line_comment(raw);
+            for form in THREAD_SPAWN_FORMS {
+                if code.contains(form) {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: idx + 1,
+                        msg: format!(
+                            "`{form}` outside {SCHEDULER_MODULE} — fan out through \
+                             dozznoc_core::schedule::run_indexed so determinism tests cover \
+                             it, or mark with `{THREAD_SPAWN_ALLOW}`"
+                        ),
+                    });
+                }
+            }
+        }
+        prev_allows = allows;
+    }
+    findings
+}
+
 /// Rule 3: no `unwrap()` in hot-path modules outside their test module.
 /// By repo convention the `#[cfg(test)]` module sits at the bottom of the
 /// file, so scanning stops at the first such attribute.
@@ -495,6 +550,55 @@ mod tests {
         // naive "ticks + as" scan would false-positive on.
         let src = "let f = span.ticks() as f64;\nlet bucket = v.leading_zeros() as usize;\n";
         assert!(scan_tick_narrowing("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_is_flagged() {
+        let src = "fn fan_out() {\n    let h = std::thread::spawn(|| work());\n}\n";
+        let found = scan_thread_spawns("crates/core/src/experiment.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].msg.contains("thread::spawn"));
+        assert!(found[0].msg.contains("schedule.rs"));
+    }
+
+    #[test]
+    fn thread_scope_and_builder_are_flagged() {
+        let src = "std::thread::scope(|s| {});\nthread::Builder::new();\n";
+        let found = scan_thread_spawns("x.rs", src);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].msg.contains("thread::scope"));
+        assert!(found[1].msg.contains("thread::Builder"));
+    }
+
+    #[test]
+    fn thread_spawn_allow_marker_suppresses() {
+        let same = "std::thread::spawn(f); // xtask-lint: allow(thread-spawn) — watchdog\n";
+        assert!(scan_thread_spawns("x.rs", same).is_empty());
+        let above = "// xtask-lint: allow(thread-spawn) — watchdog\nstd::thread::spawn(f);\n";
+        assert!(scan_thread_spawns("x.rs", above).is_empty());
+        let leak = "// xtask-lint: allow(thread-spawn)\nthread::spawn(f);\nthread::spawn(g);\n";
+        assert_eq!(scan_thread_spawns("x.rs", leak).len(), 1);
+    }
+
+    #[test]
+    fn thread_spawn_in_comment_is_ignored() {
+        let src = "// the engine used to call thread::spawn per benchmark\nlet x = 1;\n";
+        assert!(scan_thread_spawns("x.rs", src).is_empty());
+    }
+
+    /// The scheduler module itself is exempt by path: the tree scan must
+    /// stay clean even though schedule.rs really does call
+    /// `thread::scope`.
+    #[test]
+    fn scheduler_module_spawns_but_tree_scan_is_clean() {
+        let root = workspace_root();
+        let src = read(&root, SCHEDULER_MODULE);
+        assert!(
+            !scan_thread_spawns(SCHEDULER_MODULE, &src).is_empty(),
+            "schedule.rs should trip the scanner when not exempted by path"
+        );
+        // repo_sources_are_clean covers the exemption end-to-end.
     }
 
     #[test]

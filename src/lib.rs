@@ -48,8 +48,9 @@ pub use dozznoc_types as types;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use dozznoc_core::{
-        run_model, run_model_sanitized, run_model_with_telemetry, Adaptive, Baseline, Campaign,
-        Collector, ModelKind, ModelSuite, Oracle, PowerGated, Proactive, Reactive, Trainer,
+        run_model, run_model_sanitized, run_model_with_telemetry, Adaptive, Baseline, CacheStats,
+        Campaign, CellRun, Collector, EngineOptions, Fingerprint, ModelKind, ModelSuite, Oracle,
+        PowerGated, Proactive, Reactive, RunCache, Trainer,
     };
     pub use dozznoc_ml::{
         mode_of_utilization, mode_selection_accuracy, Dataset, FeatureSet, RidgeRegression,
