@@ -203,8 +203,11 @@ impl RunCache {
     /// Counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // xtask-analyze: allow(atomic-ordering) — monotonic telemetry counter;
             hits: self.hits.load(Ordering::Relaxed),
+            // xtask-analyze: allow(atomic-ordering) — a stale read only skews the
             misses: self.misses.load(Ordering::Relaxed),
+            // xtask-analyze: allow(atomic-ordering) — reported hit-rate, never control flow.
             stores: self.stores.load(Ordering::Relaxed),
         }
     }
@@ -220,7 +223,9 @@ impl RunCache {
     pub fn get(&self, fp: Fingerprint, kind: ModelKind, trace_name: &str) -> Option<RunReport> {
         let hit = self.load(fp, kind, trace_name);
         match hit {
+            // xtask-analyze: allow(atomic-ordering) — counters order nothing; the
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            // xtask-analyze: allow(atomic-ordering) — cache payload is synchronized by the filesystem.
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         hit
@@ -257,6 +262,7 @@ impl RunCache {
         // entry (it would shrug it off as a miss, but why make it).
         let tmp = self.dir.join(format!("{fp}.{}.tmp", std::process::id()));
         if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, self.entry_path(fp)).is_ok() {
+            // xtask-analyze: allow(atomic-ordering) — store counter is telemetry only.
             self.stores.fetch_add(1, Ordering::Relaxed);
         } else {
             let _ = fs::remove_file(&tmp);

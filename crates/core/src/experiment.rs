@@ -43,6 +43,7 @@ pub fn run_model_with_telemetry(
     let mut policy = kind.build(suite);
     Network::new(cfg)
         .run_with_telemetry(trace, policy.as_mut(), tel)
+        // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed run invalidates the whole campaign
         .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
 }
 
@@ -62,6 +63,7 @@ pub fn run_model_sanitized(
     let mut policy = kind.build(suite);
     Network::new(cfg)
         .run_sanitized(trace, policy.as_mut(), tel, san)
+        // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed run invalidates the whole campaign
         .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
 }
 
@@ -103,6 +105,7 @@ impl Campaign {
 
     /// Epoch size override. Rejects degenerate epochs (see
     /// [`dozznoc_types::MIN_EPOCH_CYCLES`]).
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
         if epoch_cycles < dozznoc_types::MIN_EPOCH_CYCLES {
             return Err(ConfigError::DegenerateEpoch { epoch_cycles });
@@ -112,12 +115,14 @@ impl Campaign {
     }
 
     /// Trace horizon override.
+    #[must_use]
     pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
         self.duration_ns = duration_ns;
         self
     }
 
     /// Seed override.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -125,6 +130,7 @@ impl Campaign {
 
     /// Run on time-compressed traces (Fig. 8(a,b)). A factor of 1 is
     /// uncompressed; 0 is rejected.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_compression(mut self, factor: u64) -> Result<Self, ConfigError> {
         if factor == 0 {
             return Err(ConfigError::ZeroCompression);
@@ -137,6 +143,7 @@ impl Campaign {
     /// (load changes by `den/num`). The Fig. 8 "compressed" runs use
     /// 2/3 — 1.5× load, near but not past saturation. Zero terms are
     /// rejected.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_load_scale(mut self, num: u64, den: u64) -> Result<Self, ConfigError> {
         if num == 0 || den == 0 {
             return Err(ConfigError::ZeroLoadScale { num, den });
@@ -146,6 +153,7 @@ impl Campaign {
     }
 
     /// Restrict the model set. An empty set is rejected.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_models(mut self, models: &[ModelKind]) -> Result<Self, ConfigError> {
         if models.is_empty() {
             return Err(ConfigError::EmptyModelSet);

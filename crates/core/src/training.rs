@@ -66,6 +66,7 @@ impl Trainer {
 
     /// Train at a different epoch size (the §IV-B sweep). Rejects
     /// epochs shorter than [`dozznoc_types::MIN_EPOCH_CYCLES`].
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
         if epoch_cycles < dozznoc_types::MIN_EPOCH_CYCLES {
             return Err(ConfigError::DegenerateEpoch { epoch_cycles });
@@ -75,18 +76,21 @@ impl Trainer {
     }
 
     /// Shorter traces (tests / CI).
+    #[must_use]
     pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
         self.duration_ns = duration_ns;
         self
     }
 
     /// Alternate seed for the trace generator.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Collect (and train on) time-compressed traces.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_compression(mut self, factor: u64) -> Result<Self, ConfigError> {
         if factor == 0 {
             return Err(ConfigError::ZeroCompression);
@@ -96,6 +100,7 @@ impl Trainer {
     }
 
     /// Fractional load scaling (see `Campaign::try_with_load_scale`).
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_load_scale(mut self, num: u64, den: u64) -> Result<Self, ConfigError> {
         if num == 0 || den == 0 {
             return Err(ConfigError::ZeroLoadScale { num, den });
@@ -129,6 +134,7 @@ impl Trainer {
             let mut collector = Collector::new(kind.policy(), self.topology.num_routers());
             Network::new(self.config())
                 .run(&trace, &mut collector)
+                // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed training run has no recovery
                 .unwrap_or_else(|e| panic!("training run on {bench} failed: {e}"));
             let (ds, _) = collector.into_dataset();
             pooled.extend(&ds);

@@ -84,17 +84,17 @@ pub fn table3(ctx: &Ctx) {
             "{:<8} {:<10} {:>10} {:>10} {:>12}",
             format!("{:.1} V", m.voltage()),
             format!("{} GHz", m.freq_ghz()),
-            r.t_switch_cycles,
-            r.t_wakeup_cycles,
-            r.t_breakeven_cycles
+            r.t_switch_cycles.count(),
+            r.t_wakeup_cycles.count(),
+            r.t_breakeven_cycles.count()
         );
         rows.push(format!(
             "{},{},{},{},{}",
             m.voltage(),
             m.freq_ghz(),
-            r.t_switch_cycles,
-            r.t_wakeup_cycles,
-            r.t_breakeven_cycles
+            r.t_switch_cycles.count(),
+            r.t_wakeup_cycles.count(),
+            r.t_breakeven_cycles.count()
         ));
     }
     ctx.write_csv(

@@ -56,6 +56,7 @@ impl NocConfig {
 
     /// Override the epoch size (the §IV-B sweep). Rejects epochs
     /// shorter than [`MIN_EPOCH_CYCLES`] local cycles.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_epoch_cycles(mut self, epoch_cycles: u64) -> Result<Self, ConfigError> {
         if epoch_cycles < MIN_EPOCH_CYCLES {
             return Err(ConfigError::DegenerateEpoch { epoch_cycles });
@@ -67,6 +68,7 @@ impl NocConfig {
     /// Override the router pipeline depth. Rejects zero: the ready-tick
     /// arithmetic books `pipeline_cycles - 1` extra cycles per buffered
     /// flit, so a zero depth would underflow the tick math.
+    #[must_use = "the updated builder is returned, not applied in place"]
     pub fn try_with_pipeline_cycles(mut self, pipeline_cycles: u64) -> Result<Self, ConfigError> {
         if pipeline_cycles == 0 {
             return Err(ConfigError::DegeneratePipeline { pipeline_cycles });
@@ -76,6 +78,7 @@ impl NocConfig {
     }
 
     /// Override T-Idle.
+    #[must_use]
     pub fn with_t_idle(mut self, t_idle: u64) -> Self {
         self.t_idle = t_idle;
         self
@@ -83,6 +86,7 @@ impl NocConfig {
 
     /// Use a different DOR dimension order (routing-sensitivity
     /// experiments).
+    #[must_use]
     pub fn with_routing(mut self, routing: DimOrder) -> Self {
         self.routing = routing;
         self

@@ -28,7 +28,8 @@ use dozznoc_power::{
 use dozznoc_topology::{Port, Topology, XyRouter};
 use dozznoc_traffic::Trace;
 use dozznoc_types::{
-    Flit, FlitKind, Mode, PowerState, RouterId, SimTime, TransitionEvent, TransitionKind,
+    DomainCycles, Flit, FlitKind, Mode, PowerState, RouterId, SimTime, TransitionEvent,
+    TransitionKind,
 };
 
 use std::cmp::Reverse;
@@ -577,7 +578,11 @@ impl Network {
             }
             // The flit spends the router pipeline (minus the ST cycle
             // the switch allocator itself models) before it may move on.
-            let ready = self.now + 1 + (self.cfg.pipeline_cycles - 1) * divisor;
+            let ready = self.now
+                + 1
+                + DomainCycles::new(self.cfg.pipeline_cycles - 1)
+                    .to_ticks(divisor)
+                    .ticks();
             port.vc_mut(vc as usize).push(flit, ready);
             r.buffered_flits += 1;
             if flit.kind.is_head() {
@@ -773,8 +778,11 @@ impl Network {
                     PowerState::Active(m) => m,
                     _ => unreachable!("only active routers allocate"),
                 };
-                let ready =
-                    self.now + 1 + (self.cfg.pipeline_cycles - 1) * self.routers[d].divisor();
+                let ready = self.now
+                    + 1
+                    + DomainCycles::new(self.cfg.pipeline_cycles - 1)
+                        .to_ticks(self.routers[d].divisor())
+                        .ticks();
                 self.routers[d].ports[down_port]
                     .vc_mut(down_vc as usize)
                     .push(flit, ready);

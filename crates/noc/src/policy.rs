@@ -70,6 +70,7 @@ impl AlwaysMode {
     }
 
     /// Enable power gating.
+    #[must_use]
     pub fn with_gating(mut self) -> Self {
         self.gating = true;
         self.name.push_str("+pg");

@@ -5,7 +5,7 @@
 //! (switch allocation, hops, wake-ups) lives in [`crate::network`]
 //! because it needs simultaneous access to both ends of every link.
 
-use dozznoc_types::{Mode, PowerState, RouterId, SimTime};
+use dozznoc_types::{DomainCycles, Mode, PowerState, RouterId, SimTime};
 
 use crate::buffer::InputPort;
 use crate::config::NocConfig;
@@ -247,7 +247,10 @@ impl Router {
             pc.link_utilization = (c.class_busy_cycles[i] as f64 / (cyc * n_ports)).min(1.0);
         }
 
-        let epoch_ticks = (cycles * self.divisor()).max(1) as f64;
+        let epoch_ticks = DomainCycles::new(cycles)
+            .to_ticks(self.divisor())
+            .ticks()
+            .max(1) as f64;
         let epochs_elapsed = (self.epochs + 1) as f64;
         let obs = EpochObservation {
             router: self.id,

@@ -21,7 +21,7 @@
 use serde::Serialize;
 
 use dozznoc_topology::Port;
-use dozznoc_types::{PacketId, PowerState, RouterId, TickDelta};
+use dozznoc_types::{DomainCycles, PacketId, PowerState, RouterId, TickDelta};
 
 use crate::network::Network;
 use crate::telemetry::Telemetry;
@@ -291,7 +291,11 @@ impl SimSanitizer {
         }
 
         // Worst-case pipeline bound for any buffered flit's ready tick.
-        let ready_bound = now + 1 + (net.cfg.pipeline_cycles - 1) * MAX_DIVISOR;
+        let ready_bound = now
+            + 1
+            + DomainCycles::new(net.cfg.pipeline_cycles - 1)
+                .to_ticks(MAX_DIVISOR)
+                .ticks();
 
         // --- Event-heap consistency: every router's deadline must have
         // a live entry (stale entries are expected; missing ones mean a

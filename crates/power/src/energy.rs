@@ -137,6 +137,7 @@ impl EnergyLedger {
     }
 
     /// A ledger with custom costs (for ablations).
+    #[must_use]
     pub fn with_costs(num_routers: usize, costs: DsentCosts) -> Self {
         EnergyLedger {
             costs,

@@ -57,6 +57,7 @@ fn unit_settling_time() -> f64 {
 impl Transient {
     /// Model a transition that settles (to within 1% of the step) in
     /// `settle_ns` nanoseconds — the latency measured in Table II.
+    #[must_use]
     pub fn with_settling_time(v_from: f64, v_to: f64, settle_ns: f64) -> Self {
         assert!(settle_ns > 0.0, "settling time must be positive");
         // Settling time scales exactly as 1/ωn: measure it once for

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 #[cfg(test)]
 use dozznoc_types::ACTIVE_MODES;
-use dozznoc_types::{Mode, TickDelta};
+use dozznoc_types::{DomainCycles, Mode, TickDelta};
 
 /// Worst-case measured wake-up latency over Table II (PG → any mode).
 pub const WORST_T_WAKEUP_NS: f64 = 8.8;
@@ -28,32 +28,32 @@ pub struct ModeTimings {
     pub mode: Mode,
     /// Cycles (of this mode's clock) a router stalls when switching into
     /// this mode from another active mode.
-    pub t_switch_cycles: u64,
+    pub t_switch_cycles: DomainCycles,
     /// Cycles (of this mode's clock) a waking router spends in the wakeup
     /// state before becoming operational.
-    pub t_wakeup_cycles: u64,
+    pub t_wakeup_cycles: DomainCycles,
     /// Minimum off-residency, in cycles of this mode's clock, for a
     /// power-gating event to net-save static energy.
-    pub t_breakeven_cycles: u64,
+    pub t_breakeven_cycles: DomainCycles,
 }
 
 impl ModeTimings {
     /// T-Switch expressed in base ticks.
     #[inline]
     pub fn t_switch(&self) -> TickDelta {
-        TickDelta::from_ticks(self.t_switch_cycles * self.mode.divisor())
+        self.t_switch_cycles.to_ticks(self.mode.divisor())
     }
 
     /// T-Wakeup expressed in base ticks.
     #[inline]
     pub fn t_wakeup(&self) -> TickDelta {
-        TickDelta::from_ticks(self.t_wakeup_cycles * self.mode.divisor())
+        self.t_wakeup_cycles.to_ticks(self.mode.divisor())
     }
 
     /// T-Breakeven expressed in base ticks.
     #[inline]
     pub fn t_breakeven(&self) -> TickDelta {
-        TickDelta::from_ticks(self.t_breakeven_cycles * self.mode.divisor())
+        self.t_breakeven_cycles.to_ticks(self.mode.divisor())
     }
 }
 
@@ -75,9 +75,9 @@ impl VfTable {
         const fn row(mode: Mode, t_switch: u64, t_wakeup: u64, t_breakeven: u64) -> ModeTimings {
             ModeTimings {
                 mode,
-                t_switch_cycles: t_switch,
-                t_wakeup_cycles: t_wakeup,
-                t_breakeven_cycles: t_breakeven,
+                t_switch_cycles: DomainCycles::new(t_switch),
+                t_wakeup_cycles: DomainCycles::new(t_wakeup),
+                t_breakeven_cycles: DomainCycles::new(t_breakeven),
             }
         }
         VfTable {
@@ -110,12 +110,12 @@ mod tests {
     #[test]
     fn paper_values_encoded_literally() {
         let t = VfTable::paper();
-        assert_eq!(t.timings(Mode::M3).t_switch_cycles, 7);
-        assert_eq!(t.timings(Mode::M3).t_wakeup_cycles, 9);
-        assert_eq!(t.timings(Mode::M3).t_breakeven_cycles, 8);
-        assert_eq!(t.timings(Mode::M7).t_switch_cycles, 16);
-        assert_eq!(t.timings(Mode::M7).t_wakeup_cycles, 18);
-        assert_eq!(t.timings(Mode::M7).t_breakeven_cycles, 12);
+        assert_eq!(t.timings(Mode::M3).t_switch_cycles.count(), 7);
+        assert_eq!(t.timings(Mode::M3).t_wakeup_cycles.count(), 9);
+        assert_eq!(t.timings(Mode::M3).t_breakeven_cycles.count(), 8);
+        assert_eq!(t.timings(Mode::M7).t_switch_cycles.count(), 16);
+        assert_eq!(t.timings(Mode::M7).t_wakeup_cycles.count(), 18);
+        assert_eq!(t.timings(Mode::M7).t_breakeven_cycles.count(), 12);
     }
 
     #[test]
@@ -126,7 +126,7 @@ mod tests {
         for m in ACTIVE_MODES {
             let derived = (WORST_T_SWITCH_NS * m.freq_ghz()).ceil() as u64;
             assert_eq!(
-                t.timings(m).t_switch_cycles,
+                t.timings(m).t_switch_cycles.count(),
                 derived,
                 "{m:?}: table disagrees with ceil(6.9ns × f)"
             );
@@ -170,7 +170,9 @@ mod tests {
         // paper's T-Idle = 4 balances against these. Sanity-check ordering.
         let t = VfTable::paper();
         for m in ACTIVE_MODES {
-            assert!(t.timings(m).t_breakeven_cycles < t.timings(m).t_wakeup_cycles + 8);
+            assert!(
+                t.timings(m).t_breakeven_cycles.count() < t.timings(m).t_wakeup_cycles.count() + 8
+            );
         }
     }
 }

@@ -55,6 +55,7 @@ impl XyRouter {
     }
 
     /// Create a router function with an explicit dimension order.
+    #[must_use]
     pub fn with_order(topo: Topology, order: DimOrder) -> Self {
         let n = topo.num_routers();
         let mut paths = Vec::new();

@@ -45,6 +45,7 @@ impl TraceGenerator {
     }
 
     /// Override the injection horizon (nanoseconds).
+    #[must_use]
     pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
         assert!(duration_ns > 0);
         self.duration_ns = duration_ns;
@@ -52,6 +53,7 @@ impl TraceGenerator {
     }
 
     /// Override the user seed (combined with the per-benchmark seed).
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

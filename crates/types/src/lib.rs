@@ -26,4 +26,4 @@ pub use events::{TransitionEvent, TransitionKind};
 pub use flit::{Flit, FlitKind, Packet, PacketId, PacketKind};
 pub use ids::{CoreId, RouterId, VcId};
 pub use mode::{Mode, PowerState, ACTIVE_MODES};
-pub use time::{SimTime, TickDelta, BASE_CLOCK_GHZ, TICKS_PER_NS};
+pub use time::{DomainCycles, SimTime, TickDelta, BASE_CLOCK_GHZ, TICKS_PER_NS};

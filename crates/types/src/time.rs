@@ -32,18 +32,78 @@ fn ticks_from_f64_saturating(ticks: f64) -> u64 {
 /// `SimTime` is a transparent `u64` newtype: arithmetic that could make
 /// sense on absolute times (difference, offsetting by a delta) is provided
 /// explicitly; accidental addition of two absolute times does not compile.
+///
+/// The inner field is sealed: outside this module the only way in is
+/// [`SimTime::from_ticks`]/[`SimTime::from_ns_ceil`] and the only way
+/// out is [`SimTime::ticks`]. `cargo xtask analyze` (unit-consistency
+/// pass) keeps raw-`u64` escapes from creeping back in.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 #[serde(transparent)]
-pub struct SimTime(pub u64);
+pub struct SimTime(u64);
 
-/// A span of simulated time in base ticks.
+/// A span of simulated time in base ticks. Sealed like [`SimTime`].
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 #[serde(transparent)]
-pub struct TickDelta(pub u64);
+pub struct TickDelta(u64);
+
+/// A count of *local* clock cycles in one router's clock domain.
+///
+/// Every V/F mode runs at an integer divisor of the 18 GHz base clock, so
+/// a cycle count only has a duration once paired with that divisor.
+/// Keeping cycle counts in their own newtype makes the pairing explicit:
+/// the only tick↔cycle bridges are [`DomainCycles::to_ticks`] and
+/// [`DomainCycles::from_ticks_ceil`], both of which name the divisor at
+/// the call site. Ad-hoc `cycles * divisor` arithmetic is rejected by the
+/// unit-consistency pass of `cargo xtask analyze`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DomainCycles(u64);
+
+impl DomainCycles {
+    /// Zero cycles.
+    pub const ZERO: DomainCycles = DomainCycles(0);
+
+    /// Construct from a raw cycle count.
+    #[inline]
+    pub const fn new(count: u64) -> Self {
+        DomainCycles(count)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Duration of this many local cycles under the given base-tick
+    /// divisor (`Mode::divisor()`): exactly `count × divisor` ticks.
+    /// Overflow follows the tick-math policy (debug builds panic,
+    /// release builds saturate — see [`TickDelta`]'s `Add`).
+    #[inline]
+    pub const fn to_ticks(self, divisor: u64) -> TickDelta {
+        debug_assert!(
+            self.0.checked_mul(divisor).is_some(),
+            "DomainCycles→ticks overflow"
+        );
+        TickDelta(self.0.saturating_mul(divisor))
+    }
+
+    /// Local cycles needed to cover `delta` under the given divisor,
+    /// rounding up (a partial cycle still occupies the domain for a whole
+    /// cycle). A zero divisor is a caller bug (no V/F mode has one);
+    /// debug builds reject it, release builds clamp to 1.
+    #[inline]
+    pub fn from_ticks_ceil(delta: TickDelta, divisor: u64) -> Self {
+        debug_assert!(divisor > 0, "zero clock divisor");
+        DomainCycles(delta.0.div_ceil(divisor.max(1)))
+    }
+}
 
 impl SimTime {
     /// The origin of simulated time.
@@ -95,14 +155,20 @@ impl SimTime {
         TickDelta(self.0 - earlier.0)
     }
 
-    /// This time advanced by `delta`. Overflow is a simulation bug
-    /// (2⁶⁴ ticks ≈ 32 years of simulated time); debug builds reject it,
-    /// release builds saturate instead of wrapping time backwards.
+    /// This time advanced by `delta`.
+    ///
+    /// Overflow policy (shared by every tick-math operation in this
+    /// module): overflow is a simulation bug — 2⁶⁴ ticks ≈ 32 years of
+    /// simulated time — so debug builds panic at the offending site,
+    /// while release builds deliberately *saturate* at `u64::MAX` so
+    /// time can never wrap backwards and violate event-heap causality.
+    /// The saturated value pins the clock at the end of representable
+    /// time, which the schedule loop treats as "past `max_ticks`".
     #[inline]
     pub fn after(self, delta: TickDelta) -> SimTime {
         debug_assert!(
             self.0.checked_add(delta.0).is_some(),
-            "SimTime overflow: {} + {}",
+            "SimTime overflow: {} + {} (release builds saturate here)",
             self.0,
             delta.0
         );
@@ -129,13 +195,12 @@ impl TickDelta {
     }
 
     /// Span expressed as local cycles of a clock with the given tick
-    /// divisor, rounding up. A zero divisor is a caller bug (no V/F mode
-    /// has one); debug builds reject it, release builds clamp to 1
-    /// instead of dividing by zero.
+    /// divisor, rounding up. Convenience wrapper over
+    /// [`DomainCycles::from_ticks_ceil`]; see there for the zero-divisor
+    /// policy.
     #[inline]
     pub fn as_cycles_ceil(self, divisor: u64) -> u64 {
-        debug_assert!(divisor > 0, "zero clock divisor");
-        self.0.div_ceil(divisor.max(1))
+        DomainCycles::from_ticks_ceil(self, divisor).count()
     }
 
     /// Raw tick count.
@@ -173,11 +238,14 @@ impl core::ops::Add<TickDelta> for SimTime {
 
 impl core::ops::Add for TickDelta {
     type Output = TickDelta;
+    /// Sum of two spans. Follows the module-wide overflow policy
+    /// documented on [`SimTime::after`]: debug builds panic, release
+    /// builds saturate at `u64::MAX` (never wrap).
     #[inline]
     fn add(self, rhs: TickDelta) -> TickDelta {
         debug_assert!(
             self.0.checked_add(rhs.0).is_some(),
-            "TickDelta overflow: {} + {}",
+            "TickDelta overflow: {} + {} (release builds saturate here)",
             self.0,
             rhs.0
         );
@@ -194,11 +262,14 @@ impl core::ops::AddAssign for TickDelta {
 
 impl core::ops::Mul<u64> for TickDelta {
     type Output = TickDelta;
+    /// Span scaled by an integer factor. Follows the module-wide
+    /// overflow policy documented on [`SimTime::after`]: debug builds
+    /// panic, release builds saturate at `u64::MAX` (never wrap).
     #[inline]
     fn mul(self, rhs: u64) -> TickDelta {
         debug_assert!(
             self.0.checked_mul(rhs).is_some(),
-            "TickDelta overflow: {} × {rhs}",
+            "TickDelta overflow: {} × {rhs} (release builds saturate here)",
             self.0
         );
         TickDelta(self.0.saturating_mul(rhs))
@@ -276,6 +347,50 @@ mod tests {
             // Release builds clamp to divisor 1 instead of faulting.
             assert_eq!(TickDelta::from_ticks(5).as_cycles_ceil(0), 5);
         }
+    }
+
+    /// The Add/Mul overflow policy is the same in both build profiles:
+    /// debug panics at the offending site, release saturates at
+    /// `u64::MAX` instead of wrapping time backwards. This test runs in
+    /// both profiles (CI runs the workspace tests in release too), so
+    /// each branch is exercised somewhere.
+    #[test]
+    fn overflow_policy_panics_in_debug_saturates_in_release() {
+        let near_max = TickDelta::from_ticks(u64::MAX - 1);
+        let two = TickDelta::from_ticks(2);
+        if cfg!(debug_assertions) {
+            let ops: [Box<dyn Fn() -> TickDelta>; 4] = [
+                Box::new(move || near_max + two),
+                Box::new(move || near_max * 3),
+                Box::new(move || (SimTime::from_ticks(u64::MAX - 1) + two).delta(SimTime::ZERO)),
+                Box::new(|| DomainCycles::new(u64::MAX).to_ticks(2)),
+            ];
+            for op in ops {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(op));
+                assert!(r.is_err(), "debug build must panic on tick overflow");
+            }
+        } else {
+            assert_eq!((near_max + two).ticks(), u64::MAX);
+            assert_eq!((near_max * 3).ticks(), u64::MAX);
+            assert_eq!(
+                (SimTime::from_ticks(u64::MAX - 1) + two).ticks(),
+                u64::MAX,
+                "release build must saturate, not wrap"
+            );
+            assert_eq!(DomainCycles::new(u64::MAX).to_ticks(2).ticks(), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn domain_cycles_round_trip() {
+        // 9 cycles of a divisor-18 (1 GHz) domain last 162 base ticks.
+        let c = DomainCycles::new(9);
+        assert_eq!(c.to_ticks(18), TickDelta::from_ticks(162));
+        assert_eq!(DomainCycles::from_ticks_ceil(c.to_ticks(18), 18), c);
+        // A partial trailing cycle rounds up.
+        let d = TickDelta::from_ticks(163);
+        assert_eq!(DomainCycles::from_ticks_ceil(d, 18).count(), 10);
+        assert_eq!(DomainCycles::ZERO.to_ticks(18), TickDelta::ZERO);
     }
 
     #[test]

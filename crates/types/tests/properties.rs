@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use dozznoc_types::{CoreId, ACTIVE_MODES, TICKS_PER_NS};
-use dozznoc_types::{FlitKind, Mode, Packet, PacketId, PacketKind, SimTime, TickDelta};
+use dozznoc_types::{
+    DomainCycles, FlitKind, Mode, Packet, PacketId, PacketKind, SimTime, TickDelta,
+};
 
 proptest! {
     /// ns → ticks conversion never under-estimates a delay, and the
@@ -20,7 +22,8 @@ proptest! {
     #[test]
     fn cycles_ticks_round_trip(cycles in 0u64..100_000, mode_idx in 0usize..5) {
         let m = ACTIVE_MODES[mode_idx];
-        let ticks = TickDelta::from_ticks(cycles * m.divisor());
+        let ticks = DomainCycles::new(cycles).to_ticks(m.divisor());
+        prop_assert_eq!(DomainCycles::from_ticks_ceil(ticks, m.divisor()).count(), cycles);
         prop_assert_eq!(ticks.as_cycles_ceil(m.divisor()), cycles);
     }
 

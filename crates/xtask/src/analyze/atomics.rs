@@ -1,0 +1,63 @@
+//! Pass 3 — `atomic-ordering` (deny).
+//!
+//! `Ordering::Relaxed` gives no happens-before edges, so every use must
+//! argue why none are needed. Exactly one module has that argument
+//! baked into its design: the work-stealing cell scheduler
+//! (`crates/core/src/schedule.rs`), whose injector counter is a pure
+//! monotonic ticket — the module documents why relaxed is sufficient.
+//! Everywhere else a `Ordering::Relaxed` token pair must carry a
+//! justified `// xtask-analyze: allow(atomic-ordering) — <why>` marker,
+//! which keeps the argument next to the code instead of in a reviewer's
+//! head.
+//!
+//! The pass scans the raw token stream (not just function bodies) so
+//! relaxed orderings in statics, consts, and macro arguments are seen
+//! too.
+
+use crate::analyze::{for_each_level, Pass, Workspace};
+use crate::diag::{Diagnostic, Severity};
+
+pub struct AtomicOrdering;
+
+/// The one module whose relaxed counter is documented by design.
+const EXEMPT_FILE: &str = "crates/core/src/schedule.rs";
+
+impl Pass for AtomicOrdering {
+    fn id(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.rel == EXEMPT_FILE {
+                continue;
+            }
+            // Lex the whole file: item-level token trees would miss
+            // occurrences inside items the parser keeps verbatim.
+            let Ok(tokens) = syn::lex(&file.src) else {
+                continue; // the loader already reported the parse error
+            };
+            for_each_level(&tokens, &mut |level| {
+                for (i, t) in level.iter().enumerate() {
+                    if t.ident() == Some("Ordering")
+                        && level.get(i + 1).is_some_and(|x| x.is_punct("::"))
+                        && level.get(i + 2).and_then(|x| x.ident()) == Some("Relaxed")
+                    {
+                        out.push(Diagnostic {
+                            rule: "atomic-ordering",
+                            severity: Severity::Deny,
+                            file: file.rel.clone(),
+                            line: t.span.line,
+                            column: t.span.column,
+                            message: format!(
+                                "`Ordering::Relaxed` outside {EXEMPT_FILE} — justify why no \
+                                 happens-before edge is needed with `// xtask-analyze: \
+                                 allow(atomic-ordering) — <why>`, or use Acquire/Release"
+                            ),
+                        });
+                    }
+                }
+            });
+        }
+    }
+}

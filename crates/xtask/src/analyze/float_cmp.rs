@@ -1,0 +1,88 @@
+//! Pass 5 — `float-compare` (warn).
+//!
+//! Exact `==` / `!=` on floating-point values in the reporting and
+//! statistics code is almost always a latent bug: the quantities are
+//! accumulated sums, ratios, or model outputs whose bit patterns depend
+//! on summation order. The pass is scoped to the report/stats surface
+//! (experiments tables, stats/histogram/observation, energy/DSENT
+//! models, ML metrics) — elsewhere float equality can be a legitimate
+//! sentinel check and the cache layer round-trips bit patterns on
+//! purpose.
+//!
+//! Detection is token-local: a `==`/`!=` whose either operand is a
+//! float literal or an identifier locally typed `f32`/`f64` (parameter
+//! or annotated `let`).
+
+use syn::{Tok, Token};
+
+use crate::analyze::{for_each_fn, for_each_level, mentions_ident, typed_idents, Pass, Workspace};
+use crate::diag::{Diagnostic, Severity};
+
+pub struct FloatCompare;
+
+/// File-stem substrings that put a file in the report/stats scope.
+const SCOPE_STEMS: [&str; 8] = [
+    "stats",
+    "histogram",
+    "observation",
+    "energy",
+    "dsent",
+    "metrics",
+    "report",
+    "table",
+];
+
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/experiments/")
+        || rel
+            .rsplit('/')
+            .next()
+            .is_some_and(|stem| SCOPE_STEMS.iter().any(|s| stem.contains(s)))
+}
+
+impl Pass for FloatCompare {
+    fn id(&self) -> &'static str {
+        "float-compare"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files.iter().filter(|f| in_scope(&f.rel)) {
+            for_each_fn(file, true, &mut |fr| {
+                let Some(body) = &fr.item.body else { return };
+                let floats = typed_idents(fr.item, &|ty| mentions_ident(ty, &["f32", "f64"]));
+                for_each_level(body, &mut |level| {
+                    for (i, t) in level.iter().enumerate() {
+                        let op = match &t.tok {
+                            Tok::Punct(p) if p == "==" || p == "!=" => p,
+                            _ => continue,
+                        };
+                        let floaty = |tk: Option<&Token>| {
+                            tk.is_some_and(|tk| match &tk.tok {
+                                Tok::Float(_) => true,
+                                Tok::Ident(id) => floats.contains(id),
+                                _ => false,
+                            })
+                        };
+                        if floaty(i.checked_sub(1).and_then(|p| level.get(p)))
+                            || floaty(level.get(i + 1))
+                        {
+                            out.push(Diagnostic {
+                                rule: "float-compare",
+                                severity: Severity::Warn,
+                                file: file.rel.clone(),
+                                line: t.span.line,
+                                column: t.span.column,
+                                message: format!(
+                                    "exact `{op}` on a floating-point value in `{}` — \
+                                     compare against a tolerance, or suppress with a \
+                                     justification if bit-exactness is the point",
+                                    fr.qual_name()
+                                ),
+                            });
+                        }
+                    }
+                });
+            });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Pass 4 — `must-use-builder` (warn).
+//!
+//! The config builders are by-value: `cfg.try_with_radix(6)?` returns
+//! the *updated* builder and leaves the receiver consumed. Calling one
+//! and dropping the result is therefore always a bug — the update is
+//! silently lost — but rustc only warns when the function is marked
+//! `#[must_use]` (or returns `Result`, whose own must-use triggers on
+//! the outer type only). This pass requires the attribute on every
+//! builder-shaped method: a `with_*` / `try_with_*` method in an impl
+//! block whose return type mentions `Self` (or the impl type), with or
+//! without a `Result` wrapper.
+
+use crate::analyze::{for_each_fn, mentions_ident, Pass, Workspace};
+use crate::diag::{Diagnostic, Severity};
+
+pub struct MustUseBuilders;
+
+impl Pass for MustUseBuilders {
+    fn id(&self) -> &'static str {
+        "must-use-builder"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            for_each_fn(file, true, &mut |fr| {
+                let name = fr.item.sig.ident.as_str();
+                if !(name.starts_with("with_") || name.starts_with("try_with_")) {
+                    return;
+                }
+                // Only impl-block methods: a free `with_capacity`-style
+                // helper is not a builder chain.
+                let Some(self_ty) = fr.self_ty else { return };
+                if fr.item.body.is_none() {
+                    return; // trait declaration — the impls are checked
+                }
+                let returns_self = mentions_ident(&fr.item.sig.output, &["Self", self_ty]);
+                if !returns_self {
+                    return;
+                }
+                if fr.item.attrs.iter().any(|a| a.path == "must_use") {
+                    return;
+                }
+                out.push(Diagnostic {
+                    rule: "must-use-builder",
+                    severity: Severity::Warn,
+                    file: file.rel.clone(),
+                    line: fr.item.span.line,
+                    column: fr.item.span.column,
+                    message: format!(
+                        "builder `{}` returns the updated `{self_ty}` but is not \
+                         `#[must_use]` — a dropped return value silently discards the \
+                         update (use `#[must_use = \"...\"]` on Result returns to avoid \
+                         clippy::double_must_use)",
+                        fr.qual_name()
+                    ),
+                });
+            });
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Pass 1 — `unit-consistency` (deny).
+//!
+//! The time newtypes (`SimTime`, `TickDelta`, `DomainCycles`) seal their
+//! inner `u64` so tick arithmetic cannot silently change units. This
+//! pass enforces the seal *textually*, one compile earlier than rustc:
+//!
+//! 1. no `.0` access on a binding typed as one of the time types outside
+//!    `crates/types` (the accessors are `.ticks()` / `.count()`),
+//! 2. no direct tuple construction `SimTime(..)` / `TickDelta(..)` /
+//!    `DomainCycles(..)` outside `crates/types` (use the named
+//!    constructors, which carry the overflow policy),
+//! 3. no `*` / `/` arithmetic that mixes a cycle count with a clock
+//!    divisor — the only sanctioned bridges between per-domain cycles
+//!    and base ticks are `DomainCycles::to_ticks` and
+//!    `DomainCycles::from_ticks_ceil`.
+
+use std::collections::BTreeSet;
+
+use syn::{Delim, Tok, Token};
+
+use crate::analyze::{
+    for_each_fn, for_each_level, mentions_ident, operand_idents, typed_idents, Pass, Workspace,
+};
+use crate::diag::{Diagnostic, Severity};
+
+pub struct UnitConsistency;
+
+const TIME_TYPES: [&str; 3] = ["SimTime", "TickDelta", "DomainCycles"];
+
+impl Pass for UnitConsistency {
+    fn id(&self) -> &'static str {
+        "unit-consistency"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            // The newtypes' own crate is where the raw field legitimately
+            // lives; everything it exports is the sanctioned surface.
+            if file.krate == "types" {
+                continue;
+            }
+            for_each_fn(file, true, &mut |fr| {
+                let Some(body) = &fr.item.body else { return };
+                let timed = typed_idents(fr.item, &|ty| mentions_ident(ty, &TIME_TYPES));
+                for_each_level(body, &mut |level| {
+                    scan_level(level, &timed, &file.rel, out);
+                });
+            });
+        }
+    }
+}
+
+fn scan_level(level: &[Token], timed: &BTreeSet<String>, rel: &str, out: &mut Vec<Diagnostic>) {
+    for (i, t) in level.iter().enumerate() {
+        // `time_typed.0` — raw field access.
+        if t.is_punct(".") && i > 0 {
+            if let (Some(id), Some(next)) = (level[i - 1].ident(), level.get(i + 1)) {
+                if matches!(&next.tok, Tok::Int(n) if n == "0") && timed.contains(id) {
+                    out.push(diag(
+                        rel,
+                        next.span,
+                        format!(
+                            "raw `.0` access on time-typed `{id}` — use the `.ticks()` / \
+                             `.count()` accessors so the unit stays visible"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // `SimTime(..)` — direct tuple construction.
+        if let Some(id) = t.ident() {
+            if TIME_TYPES.contains(&id)
+                && matches!(
+                    level.get(i + 1).map(|n| &n.tok),
+                    Some(Tok::Group(Delim::Paren, _))
+                )
+            {
+                out.push(diag(
+                    rel,
+                    t.span,
+                    format!(
+                        "direct tuple construction `{id}(..)` outside crates/types — use the \
+                         named constructors, which carry the documented overflow policy"
+                    ),
+                ));
+            }
+        }
+
+        // `cycles * divisor` / `ticks / divisor` — unit mixing around an
+        // arithmetic operator instead of the named conversion fns.
+        if t.is_punct("*") || t.is_punct("/") {
+            let left = context_idents(level, i, -1);
+            let right = context_idents(level, i, 1);
+            let cycle = |ids: &[String]| ids.iter().any(|s| s.to_lowercase().contains("cycle"));
+            let divisor = |ids: &[String]| ids.iter().any(|s| s.to_lowercase().contains("divisor"));
+            if (cycle(&left) && divisor(&right)) || (divisor(&left) && cycle(&right)) {
+                out.push(diag(
+                    rel,
+                    t.span,
+                    "arithmetic mixes a cycle count with a clock divisor — convert through \
+                     DomainCycles::to_ticks / DomainCycles::from_ticks_ceil so the unit \
+                     change is named"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Identifiers of the operand expression on one side of `level[op]`:
+/// walks over `a.b.c()` chains (idents, `.`/`::`, call-argument groups)
+/// until any other punctuation ends the operand.
+fn context_idents(level: &[Token], op: usize, dir: isize) -> Vec<String> {
+    let mut ids = Vec::new();
+    let mut j = op as isize + dir;
+    while j >= 0 && (j as usize) < level.len() {
+        let t = &level[j as usize];
+        match &t.tok {
+            Tok::Ident(_) | Tok::Group(Delim::Paren, _) => {
+                ids.extend(operand_idents(t).into_iter().map(str::to_string));
+            }
+            Tok::Punct(p) if p == "." || p == "::" => {}
+            _ => break,
+        }
+        j += dir;
+    }
+    ids
+}
+
+fn diag(rel: &str, span: syn::Span, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "unit-consistency",
+        severity: Severity::Deny,
+        file: rel.to_string(),
+        line: span.line,
+        column: span.column,
+        message,
+    }
+}

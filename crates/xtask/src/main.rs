@@ -1,92 +1,32 @@
 //! `cargo xtask` — project automation for the DozzNoC reproduction.
 //!
-//! The only subcommand so far is `lint`, which enforces the checks a
-//! generic linter cannot express for this codebase:
+//! Two subcommands, one diagnostics engine (`xtask::diag`):
 //!
-//! 1. **Workspace clippy, warnings denied.** The `[workspace.lints]`
-//!    floor (clippy `correctness` + `suspicious` groups) applies
-//!    everywhere; the simulator-critical crates (`noc`, `topology`,
-//!    `power`) additionally deny `clippy::unwrap_used` through their own
-//!    `[lints.clippy]` tables.
-//! 2. **Advisory `clippy::indexing_slicing` sweep** over the simulator
-//!    crates. The hot path indexes arrays whose bounds are established
-//!    by construction (port/VC grids sized from the topology), so the
-//!    lint cannot be denied outright — but new indexing is worth eyes,
-//!    so the count is reported without failing the build.
-//! 3. **Source scans** for project-specific invariants:
-//!    - no lossy `as` casts in the tick arithmetic (`types/src/time.rs`,
-//!      `types/src/mode.rs`) — tick math must stay in checked/saturating
-//!      integer ops; the single authorized float→tick conversion carries
-//!      an `xtask-lint: allow(lossy-cast)` marker,
-//!    - no narrowing casts of `.ticks()` anywhere in the workspace
-//!      (a `u64` tick count squeezed into `u32` truncates silently after
-//!      ~4 seconds of simulated time at 18 GHz),
-//!    - no `thread::spawn`/`thread::scope`/`thread::Builder` outside
-//!      the cell scheduler (`crates/core/src/schedule.rs`) — every
-//!      parallel fan-out must route through
-//!      `dozznoc_core::schedule::run_indexed` so the determinism suite
-//!      covers it; escapes carry `xtask-lint: allow(thread-spawn)`,
-//!    - no `unwrap()` in the hot-path modules (`noc/src/network.rs`,
-//!      `noc/src/router.rs`) outside their test modules — redundant with
-//!      the clippy table, but this scan needs no compilation and names
-//!      the rule in its message,
-//!    - every public counter field of `RunStats` is referenced by at
-//!      least one integration test (`tests/*.rs` or
-//!      `crates/noc/tests/*.rs`), so conservation/invariant coverage
-//!      cannot silently rot when a counter is added.
-//!
-//! The scans are pure functions over file contents; the unit tests below
-//! seed them with forbidden code to demonstrate each one actually fires,
-//! and a self-check test runs them against the real tree so plain
-//! `cargo test` also catches violations.
+//! - **`lint [--skip-clippy]`** — the fast path. Workspace clippy with
+//!   warnings denied, the advisory `clippy::indexing_slicing` sweep
+//!   over the simulator crates, and the string scans (`xtask::scans`):
+//!   lossy tick casts, `.ticks()` narrowing, thread spawns outside the
+//!   scheduler, RunStats test coverage. `--skip-clippy` runs the scans
+//!   alone, with no compilation at all.
+//! - **`analyze [--json PATH] [--write-baseline]`** — the deep path.
+//!   Parses every workspace crate with the vendored `syn` stand-in and
+//!   runs the five semantic passes (`xtask::analyze`): unit
+//!   consistency for the sealed time types, panic reachability from
+//!   the simulation roots, the `Ordering::Relaxed` audit, `#[must_use]`
+//!   on builders, and float comparisons in report code. Findings are
+//!   filtered through justified suppressions and the checked-in
+//!   baseline (`crates/xtask/analyze-baseline.json`); any surviving
+//!   `deny` or `warn` fails the build. `--json` additionally writes the
+//!   machine-readable report (CI uploads it next to the bench
+//!   artifacts); `--write-baseline` regenerates the baseline from the
+//!   current findings instead of gating on them.
 
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::{Command, ExitCode};
 
-/// Marker that exempts a line (or the line directly below it) from the
-/// lossy-cast scan. Kept deliberately verbose so it cannot appear by
-/// accident.
-const LOSSY_CAST_ALLOW: &str = "xtask-lint: allow(lossy-cast)";
-
-/// Marker that exempts a line (or the line directly below it) from the
-/// thread-spawn scan.
-const THREAD_SPAWN_ALLOW: &str = "xtask-lint: allow(thread-spawn)";
-
-/// The one module allowed to spawn threads: the work-stealing cell
-/// scheduler. Everything else must fan out through it so the
-/// determinism suite (`tests/determinism.rs`) vouches for every
-/// parallel caller at once.
-const SCHEDULER_MODULE: &str = "crates/core/src/schedule.rs";
-
-/// Thread-creation forms the spawn scan rejects outside the scheduler.
-const THREAD_SPAWN_FORMS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
-
-/// Cast targets considered lossy in tick/mode arithmetic: every integer
-/// target (truncating from float, narrowing from wider ints) plus `f32`
-/// (drops precision from `u64`). `f64` stays allowed — the reporting
-/// helpers convert tick counts to nanoseconds as their last step.
-const LOSSY_TARGETS: [&str; 13] = [
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
-];
-
-/// Targets narrower than the `u64` returned by `.ticks()`.
-const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
-
-/// One rule violation found by a source scan.
-#[derive(Debug, PartialEq, Eq)]
-struct Finding {
-    file: String,
-    line: usize, // 1-based
-    msg: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
-    }
-}
+use xtask::analyze;
+use xtask::diag::{Baseline, Diagnostic, Report, Severity};
+use xtask::scans;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,31 +35,38 @@ fn main() -> ExitCode {
             let skip_clippy = args.iter().any(|a| a == "--skip-clippy");
             lint(skip_clippy)
         }
+        Some("analyze") => {
+            let json = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1).cloned());
+            let write_baseline = args.iter().any(|a| a == "--write-baseline");
+            run_analyze(json.as_deref(), write_baseline)
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--skip-clippy]");
+            eprintln!("usage: cargo xtask <lint|analyze> [options]");
             eprintln!();
-            eprintln!("  lint           workspace clippy (-D warnings), advisory");
-            eprintln!("                 indexing_slicing sweep, and the DozzNoC");
-            eprintln!("                 source scans (lossy tick casts, hot-path");
-            eprintln!("                 unwraps, RunStats test coverage)");
-            eprintln!("  --skip-clippy  source scans only (no compilation)");
+            eprintln!("  lint                workspace clippy (-D warnings), advisory");
+            eprintln!("                      indexing_slicing sweep, and the string scans");
+            eprintln!("                      (lossy tick casts, thread spawns, RunStats");
+            eprintln!("                      test coverage)");
+            eprintln!("    --skip-clippy     string scans only (no compilation)");
+            eprintln!();
+            eprintln!("  analyze             AST-level passes over every workspace crate:");
+            eprintln!("                      unit-consistency, panic-reachability,");
+            eprintln!("                      atomic-ordering, must-use-builder,");
+            eprintln!("                      float-compare");
+            eprintln!("    --json PATH       also write the JSON report to PATH");
+            eprintln!("    --write-baseline  regenerate the grandfathered-findings file");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Workspace root, resolved relative to this crate (crates/xtask → repo).
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/xtask sits two levels below the workspace root")
-        .to_path_buf()
-}
-
 fn lint(skip_clippy: bool) -> ExitCode {
-    let root = workspace_root();
+    let root = scans::workspace_root();
     let mut failed = false;
+    let mut report = Report::default();
 
     if skip_clippy {
         println!("xtask lint: skipping clippy passes (--skip-clippy)");
@@ -143,7 +90,20 @@ fn lint(skip_clippy: bool) -> ExitCode {
         println!("xtask lint: advisory clippy::indexing_slicing sweep (noc, topology, power)");
         match advisory_indexing_sweep(&root) {
             Ok(count) => {
-                println!("xtask lint: {count} indexing_slicing warning(s) — advisory, not fatal");
+                if count > 0 {
+                    report.findings.push(Diagnostic {
+                        rule: "indexing-slicing",
+                        severity: Severity::Advisory,
+                        file: "crates".into(),
+                        line: 0,
+                        column: 0,
+                        message: format!(
+                            "{count} clippy::indexing_slicing warning(s) across noc/topology/\
+                             power — bounds are established by construction; new sites \
+                             deserve review"
+                        ),
+                    });
+                }
             }
             Err(msg) => {
                 eprintln!("xtask lint: advisory sweep failed to compile: {msg}");
@@ -152,19 +112,71 @@ fn lint(skip_clippy: bool) -> ExitCode {
         }
     }
 
-    let findings = scan_tree(&root);
-    for f in &findings {
-        eprintln!("{f}");
-    }
-    if !findings.is_empty() {
-        eprintln!("xtask lint: {} source-scan finding(s)", findings.len());
-        failed = true;
-    }
-
-    if failed {
+    report.findings.extend(scans::scan_tree(&root));
+    print!("{}", report.render_human("xtask lint"));
+    if report.failed() || failed {
         ExitCode::FAILURE
     } else {
         println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_analyze(json: Option<&str>, write_baseline: bool) -> ExitCode {
+    let root = scans::workspace_root();
+
+    if write_baseline {
+        // Re-run against an empty baseline so the file captures every
+        // current finding that would otherwise gate.
+        let ws = analyze::Workspace::load(&root);
+        let report = analyze::run_on(&ws, Baseline::default());
+        let gating: Vec<_> = report
+            .findings
+            .into_iter()
+            .filter(|d| matches!(d.severity, Severity::Deny | Severity::Warn))
+            .collect();
+        let path = root.join(analyze::BASELINE_REL);
+        if let Err(e) = std::fs::write(&path, Baseline::render(&gating)) {
+            eprintln!("xtask analyze: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: wrote {} entries to {}",
+            gating.len(),
+            analyze::BASELINE_REL
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match analyze::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_human("xtask analyze"));
+    if let Some(path) = json {
+        let text = match serde_json::to_string_pretty(&report.to_json("analyze")) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask analyze: serialize report: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(parent) = Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("xtask analyze: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: JSON report written to {path}");
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        println!("xtask analyze: OK");
         ExitCode::SUCCESS
     }
 }
@@ -207,470 +219,4 @@ fn advisory_indexing_sweep(root: &Path) -> Result<usize, String> {
         return Err(stderr.into_owned());
     }
     Ok(stderr.matches("clippy::indexing_slicing").count())
-}
-
-/// All source scans over the real tree.
-fn scan_tree(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-
-    for rel in ["crates/types/src/time.rs", "crates/types/src/mode.rs"] {
-        findings.extend(scan_lossy_casts(rel, &read(root, rel)));
-    }
-
-    for rel in rust_sources(root) {
-        let src = read(root, &rel);
-        findings.extend(scan_tick_narrowing(&rel, &src));
-        if rel != SCHEDULER_MODULE {
-            findings.extend(scan_thread_spawns(&rel, &src));
-        }
-    }
-
-    for rel in ["crates/noc/src/network.rs", "crates/noc/src/router.rs"] {
-        findings.extend(scan_hot_path_unwraps(rel, &read(root, rel)));
-    }
-
-    let stats_rel = "crates/noc/src/stats.rs";
-    let fields = run_stats_fields(&read(root, stats_rel));
-    if fields.is_empty() {
-        findings.push(Finding {
-            file: stats_rel.into(),
-            line: 1,
-            msg: "could not parse any RunStats fields — scanner out of sync with the struct".into(),
-        });
-    }
-    let tests: Vec<String> = test_sources(root)
-        .iter()
-        .map(|rel| read(root, rel))
-        .collect();
-    for field in uncovered_stats_fields(&fields, &tests) {
-        findings.push(Finding {
-            file: stats_rel.into(),
-            line: 1,
-            msg: format!(
-                "RunStats.{field} is not referenced by any integration test \
-                 (tests/*.rs, crates/noc/tests/*.rs) — add a conservation or \
-                 invariant assertion for it"
-            ),
-        });
-    }
-
-    findings
-}
-
-fn read(root: &Path, rel: &str) -> String {
-    let path = root.join(rel);
-    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
-}
-
-/// Every `.rs` file under `crates/*/src` and the root `src/`, as
-/// root-relative forward-slash paths.
-fn rust_sources(root: &Path) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut dirs = vec![root.join("src")];
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            // xtask itself is excluded: its tests seed deliberately
-            // forbidden code into the scanners.
-            if e.file_name() != "xtask" {
-                dirs.push(e.path().join("src"));
-            }
-        }
-    }
-    while let Some(dir) = dirs.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                dirs.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                if let Ok(rel) = p.strip_prefix(root) {
-                    out.push(rel.to_string_lossy().replace('\\', "/"));
-                }
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Integration-test files whose contents count as RunStats coverage.
-fn test_sources(root: &Path) -> Vec<String> {
-    let mut out = Vec::new();
-    for dir in ["tests", "crates/noc/tests"] {
-        let Ok(entries) = fs::read_dir(root.join(dir)) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.extension().is_some_and(|x| x == "rs") {
-                if let Ok(rel) = p.strip_prefix(root) {
-                    out.push(rel.to_string_lossy().replace('\\', "/"));
-                }
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Drop a trailing `// …` line comment. Good enough for this codebase:
-/// the scanned files do not put `//` inside string literals.
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-/// The identifier starting at `code[at..]`, if any.
-fn ident_at(code: &str, at: usize) -> &str {
-    let rest = &code[at..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
-        .unwrap_or(rest.len());
-    &rest[..end]
-}
-
-/// Cast targets of every `<expr> as <ty>` on a comment-stripped line.
-fn cast_targets(code: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(i) = code[from..].find(" as ") {
-        let at = from + i + 4;
-        let ty = ident_at(code, at);
-        if !ty.is_empty() {
-            out.push(ty);
-        }
-        from = at;
-    }
-    out
-}
-
-/// Rule 1: no lossy `as` casts in the tick/mode arithmetic, except on
-/// lines carrying (or directly below) the allow marker.
-fn scan_lossy_casts(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut prev_allows = false;
-    for (idx, raw) in src.lines().enumerate() {
-        let allows = raw.contains(LOSSY_CAST_ALLOW);
-        if !allows && !prev_allows {
-            let code = strip_line_comment(raw);
-            for ty in cast_targets(code) {
-                if LOSSY_TARGETS.contains(&ty) {
-                    findings.push(Finding {
-                        file: file.into(),
-                        line: idx + 1,
-                        msg: format!(
-                            "lossy `as {ty}` cast in tick arithmetic — use the checked \
-                             constructors or mark with `{LOSSY_CAST_ALLOW}`"
-                        ),
-                    });
-                }
-            }
-        }
-        prev_allows = allows;
-    }
-    findings
-}
-
-/// Rule 2: `.ticks()` (a `u64` count of 1/18 ns base ticks) must never be
-/// narrowed — `u32` overflows after ~4 simulated seconds.
-fn scan_tick_narrowing(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (idx, raw) in src.lines().enumerate() {
-        let code = strip_line_comment(raw);
-        let mut from = 0;
-        while let Some(i) = code[from..].find(".ticks() as ") {
-            let at = from + i + ".ticks() as ".len();
-            let ty = ident_at(code, at);
-            if NARROW_TARGETS.contains(&ty) {
-                findings.push(Finding {
-                    file: file.into(),
-                    line: idx + 1,
-                    msg: format!(
-                        "`.ticks() as {ty}` narrows a u64 tick count — keep tick math in u64"
-                    ),
-                });
-            }
-            from = at;
-        }
-    }
-    findings
-}
-
-/// Rule: threads are spawned only by the cell scheduler
-/// (`crates/core/src/schedule.rs`). Any `thread::spawn`,
-/// `thread::scope` or `thread::Builder` elsewhere bypasses the
-/// injector/indexed-slot machinery that keeps parallel campaign runs
-/// bit-identical to sequential ones, so it must either route through
-/// [`SCHEDULER_MODULE`] or carry the allow marker (same line or the
-/// line directly above).
-fn scan_thread_spawns(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut prev_allows = false;
-    for (idx, raw) in src.lines().enumerate() {
-        let allows = raw.contains(THREAD_SPAWN_ALLOW);
-        if !allows && !prev_allows {
-            let code = strip_line_comment(raw);
-            for form in THREAD_SPAWN_FORMS {
-                if code.contains(form) {
-                    findings.push(Finding {
-                        file: file.into(),
-                        line: idx + 1,
-                        msg: format!(
-                            "`{form}` outside {SCHEDULER_MODULE} — fan out through \
-                             dozznoc_core::schedule::run_indexed so determinism tests cover \
-                             it, or mark with `{THREAD_SPAWN_ALLOW}`"
-                        ),
-                    });
-                }
-            }
-        }
-        prev_allows = allows;
-    }
-    findings
-}
-
-/// Rule 3: no `unwrap()` in hot-path modules outside their test module.
-/// By repo convention the `#[cfg(test)]` module sits at the bottom of the
-/// file, so scanning stops at the first such attribute.
-fn scan_hot_path_unwraps(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (idx, raw) in src.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = strip_line_comment(raw);
-        if code.contains(".unwrap()") || code.contains(".unwrap_err()") {
-            findings.push(Finding {
-                file: file.into(),
-                line: idx + 1,
-                msg: "unwrap() in simulator hot path — use expect() naming the invariant \
-                      that makes the value present"
-                    .into(),
-            });
-        }
-    }
-    findings
-}
-
-/// Public field names of `RunStats`, parsed from its source.
-fn run_stats_fields(src: &str) -> Vec<String> {
-    let mut fields = Vec::new();
-    let mut in_struct = false;
-    for line in src.lines() {
-        if line.starts_with("pub struct RunStats") {
-            in_struct = true;
-            continue;
-        }
-        if in_struct {
-            if line.starts_with('}') {
-                break;
-            }
-            if let Some(rest) = line.trim_start().strip_prefix("pub ") {
-                if let Some((name, _)) = rest.split_once(':') {
-                    fields.push(name.trim().to_string());
-                }
-            }
-        }
-    }
-    fields
-}
-
-/// Rule 4: fields not mentioned in any of the given test sources.
-fn uncovered_stats_fields(fields: &[String], test_sources: &[String]) -> Vec<String> {
-    fields
-        .iter()
-        .filter(|f| !test_sources.iter().any(|src| src.contains(f.as_str())))
-        .cloned()
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    // Each scan is demonstrated against seeded *forbidden* code — the
-    // acceptance test for the linter is that it actually fails things.
-
-    #[test]
-    fn lossy_cast_is_flagged() {
-        let src = "fn f(t: f64) -> u64 {\n    t as u64\n}\n";
-        let found = scan_lossy_casts("time.rs", src);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].line, 2);
-        assert!(found[0].msg.contains("as u64"));
-    }
-
-    #[test]
-    fn widening_and_f64_casts_are_not_lossy() {
-        let src = "let ns = ticks as f64 / TICKS_PER_NS as f64;\n";
-        assert!(scan_lossy_casts("time.rs", src).is_empty());
-    }
-
-    #[test]
-    fn allow_marker_on_same_line_suppresses() {
-        let src = "    t as u64 // xtask-lint: allow(lossy-cast) — saturating\n";
-        assert!(scan_lossy_casts("time.rs", src).is_empty());
-    }
-
-    #[test]
-    fn allow_marker_on_previous_line_suppresses() {
-        let src = "// xtask-lint: allow(lossy-cast) — saturating by construction\nt as u64\n";
-        assert!(scan_lossy_casts("time.rs", src).is_empty());
-    }
-
-    #[test]
-    fn allow_marker_does_not_leak_past_one_line() {
-        let src = "// xtask-lint: allow(lossy-cast)\nt as u64\nu as u32\n";
-        let found = scan_lossy_casts("time.rs", src);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].line, 3);
-    }
-
-    #[test]
-    fn cast_in_comment_is_ignored() {
-        let src = "// converting ticks as u64 would truncate here\nlet x = 1;\n";
-        assert!(scan_lossy_casts("time.rs", src).is_empty());
-    }
-
-    #[test]
-    fn tick_narrowing_is_flagged() {
-        let src = "let c = (span.ticks() as u32).min(7);\n";
-        let found = scan_tick_narrowing("x.rs", src);
-        assert_eq!(found.len(), 1);
-        assert!(found[0].msg.contains("as u32"));
-    }
-
-    #[test]
-    fn tick_to_f64_and_unrelated_casts_pass() {
-        // The second line is the histogram's leading_zeros cast that a
-        // naive "ticks + as" scan would false-positive on.
-        let src = "let f = span.ticks() as f64;\nlet bucket = v.leading_zeros() as usize;\n";
-        assert!(scan_tick_narrowing("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn thread_spawn_is_flagged() {
-        let src = "fn fan_out() {\n    let h = std::thread::spawn(|| work());\n}\n";
-        let found = scan_thread_spawns("crates/core/src/experiment.rs", src);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].line, 2);
-        assert!(found[0].msg.contains("thread::spawn"));
-        assert!(found[0].msg.contains("schedule.rs"));
-    }
-
-    #[test]
-    fn thread_scope_and_builder_are_flagged() {
-        let src = "std::thread::scope(|s| {});\nthread::Builder::new();\n";
-        let found = scan_thread_spawns("x.rs", src);
-        assert_eq!(found.len(), 2);
-        assert!(found[0].msg.contains("thread::scope"));
-        assert!(found[1].msg.contains("thread::Builder"));
-    }
-
-    #[test]
-    fn thread_spawn_allow_marker_suppresses() {
-        let same = "std::thread::spawn(f); // xtask-lint: allow(thread-spawn) — watchdog\n";
-        assert!(scan_thread_spawns("x.rs", same).is_empty());
-        let above = "// xtask-lint: allow(thread-spawn) — watchdog\nstd::thread::spawn(f);\n";
-        assert!(scan_thread_spawns("x.rs", above).is_empty());
-        let leak = "// xtask-lint: allow(thread-spawn)\nthread::spawn(f);\nthread::spawn(g);\n";
-        assert_eq!(scan_thread_spawns("x.rs", leak).len(), 1);
-    }
-
-    #[test]
-    fn thread_spawn_in_comment_is_ignored() {
-        let src = "// the engine used to call thread::spawn per benchmark\nlet x = 1;\n";
-        assert!(scan_thread_spawns("x.rs", src).is_empty());
-    }
-
-    /// The scheduler module itself is exempt by path: the tree scan must
-    /// stay clean even though schedule.rs really does call
-    /// `thread::scope`.
-    #[test]
-    fn scheduler_module_spawns_but_tree_scan_is_clean() {
-        let root = workspace_root();
-        let src = read(&root, SCHEDULER_MODULE);
-        assert!(
-            !scan_thread_spawns(SCHEDULER_MODULE, &src).is_empty(),
-            "schedule.rs should trip the scanner when not exempted by path"
-        );
-        // repo_sources_are_clean covers the exemption end-to-end.
-    }
-
-    #[test]
-    fn hot_path_unwrap_is_flagged() {
-        let src = "fn drain(&mut self) {\n    let e = self.heap.pop().unwrap();\n}\n";
-        let found = scan_hot_path_unwraps("network.rs", src);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].line, 2);
-    }
-
-    #[test]
-    fn unwrap_after_cfg_test_is_ignored() {
-        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n";
-        assert!(scan_hot_path_unwraps("network.rs", src).is_empty());
-    }
-
-    #[test]
-    fn expect_and_commented_unwrap_pass() {
-        let src = "let e = heap.pop().expect(\"heap non-empty\"); // not .unwrap()\n";
-        assert!(scan_hot_path_unwraps("network.rs", src).is_empty());
-    }
-
-    #[test]
-    fn run_stats_fields_parse() {
-        let src = "pub struct RunStats {\n    /// doc\n    pub packets_injected: u64,\n    pub last_delivery: SimTime,\n}\n";
-        assert_eq!(
-            run_stats_fields(src),
-            vec!["packets_injected".to_string(), "last_delivery".to_string()]
-        );
-    }
-
-    #[test]
-    fn uncovered_field_is_reported() {
-        let fields = vec![
-            "packets_injected".to_string(),
-            "secure_underflows".to_string(),
-        ];
-        let tests = vec!["assert_eq!(stats.packets_injected, 5);".to_string()];
-        assert_eq!(
-            uncovered_stats_fields(&fields, &tests),
-            vec!["secure_underflows".to_string()]
-        );
-    }
-
-    /// The real tree must pass every scan — this makes plain `cargo test`
-    /// catch violations even when `cargo xtask lint` is not run.
-    #[test]
-    fn repo_sources_are_clean() {
-        let root = workspace_root();
-        let findings = scan_tree(&root);
-        assert!(
-            findings.is_empty(),
-            "source scans found violations:\n{}",
-            findings
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
-
-    /// The field parser must stay in sync with the real struct: it parses
-    /// the canonical counters the conservation suite asserts on.
-    #[test]
-    fn real_run_stats_struct_parses() {
-        let root = workspace_root();
-        let fields = run_stats_fields(&read(&root, "crates/noc/src/stats.rs"));
-        for expected in ["packets_injected", "flits_delivered", "secure_underflows"] {
-            assert!(
-                fields.iter().any(|f| f == expected),
-                "RunStats parser lost field {expected}: got {fields:?}"
-            );
-        }
-    }
 }

@@ -1,0 +1,6 @@
+//! Fixture: an undocumented relaxed atomic outside the scheduler.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+//! Fixture: the same relaxed atomic, justified in place.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // xtask-analyze: allow(atomic-ordering) — fixture: counter orders nothing
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,4 @@
+//! Fixture: exact float equality in report-scope code.
+pub fn is_zero(mean: f64) -> bool {
+    mean == 0.0
+}

@@ -1,0 +1,5 @@
+//! Fixture: the same comparison, justified as a sentinel.
+pub fn is_zero(mean: f64) -> bool {
+    // xtask-analyze: allow(float-compare) — fixture: exact-zero sentinel
+    mean == 0.0
+}

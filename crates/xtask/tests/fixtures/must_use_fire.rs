@@ -1,0 +1,17 @@
+//! Fixture: a builder missing #[must_use] next to one that carries it.
+pub struct Cfg {
+    x: u64,
+}
+
+impl Cfg {
+    pub fn try_with_x(mut self, x: u64) -> Result<Self, String> {
+        self.x = x;
+        Ok(self)
+    }
+
+    #[must_use = "the updated builder is returned, not applied in place"]
+    pub fn with_y(mut self, y: u64) -> Self {
+        self.x = y;
+        self
+    }
+}

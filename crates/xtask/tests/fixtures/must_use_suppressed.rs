@@ -1,0 +1,12 @@
+//! Fixture: the unmarked builder behind a justified suppression.
+pub struct Cfg {
+    x: u64,
+}
+
+impl Cfg {
+    // xtask-analyze: allow(must-use-builder) — fixture: attribute omitted on purpose
+    pub fn try_with_x(mut self, x: u64) -> Result<Self, String> {
+        self.x = x;
+        Ok(self)
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: an unwrap on the hot path, plus one in dead code that the
+//! call-graph walk must NOT reach.
+pub struct Network {
+    queue: Vec<u64>,
+}
+
+impl Network {
+    pub fn run(&mut self) -> u64 {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> u64 {
+        self.queue.pop().unwrap()
+    }
+}
+
+pub fn not_reachable(v: &[u64]) -> u64 {
+    v.first().unwrap() + 1
+}

@@ -1,0 +1,14 @@
+//! Fixture: every unit-consistency violation class, unsuppressed.
+use dozznoc_types::{DomainCycles, SimTime, TickDelta};
+
+pub fn raw_access(t: SimTime) -> u64 {
+    t.0
+}
+
+pub fn construct(ticks: u64) -> TickDelta {
+    TickDelta(ticks)
+}
+
+pub fn mix(epoch_cycles: u64, divisor: u64) -> u64 {
+    epoch_cycles * divisor
+}

@@ -1,0 +1,17 @@
+//! Fixture: the same violations, each behind a justified suppression.
+use dozznoc_types::{DomainCycles, SimTime, TickDelta};
+
+pub fn raw_access(t: SimTime) -> u64 {
+    // xtask-analyze: allow(unit-consistency) — fixture: raw field on purpose
+    t.0
+}
+
+pub fn construct(ticks: u64) -> TickDelta {
+    // xtask-analyze: allow(unit-consistency) — fixture: direct construction
+    TickDelta(ticks)
+}
+
+pub fn mix(epoch_cycles: u64, divisor: u64) -> u64 {
+    // xtask-analyze: allow(unit-consistency) — fixture: mixing on purpose
+    epoch_cycles * divisor
+}

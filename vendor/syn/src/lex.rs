@@ -1,0 +1,586 @@
+//! Span-preserving lexer: source text → nested token trees.
+
+use std::fmt;
+
+/// A source position: 1-based line and column (in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+/// Delimiter kind of a token group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+/// One lexed token. Multi-character operators (`::`, `->`, `==`, `>>`,
+/// …) are munched greedily into a single `Punct`; consumers that count
+/// angle-bracket depth must treat `<<`/`>>` as two opens/closes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix).
+    Ident(String),
+    /// Lifetime, without the leading quote (`'a` → `a`).
+    Lifetime(String),
+    /// Integer literal, verbatim (`0xff`, `1_000u64`).
+    Int(String),
+    /// Float literal, verbatim (`1.0`, `1e-9`, `2f64`).
+    Float(String),
+    /// String / char / byte literal, verbatim including quotes.
+    Str(String),
+    /// Punctuation / operator, greedily munched.
+    Punct(String),
+    /// A delimited group and its contents.
+    Group(Delim, Vec<Token>),
+}
+
+/// A token plus the position of its first character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given punctuation string.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(s) if s == p)
+    }
+}
+
+/// A lex or parse error with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    pub span: Span,
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.column, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Multi-character operators, longest first so munching is greedy.
+const OPS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+    src: &'a str,
+}
+
+/// Lex a source file into a flat-with-groups token tree.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        src,
+    };
+    let _ = lx.src;
+    // Stack of open groups: (delimiter, span of the opener, tokens so far).
+    let mut stack: Vec<(Delim, Span, Vec<Token>)> = Vec::new();
+    let mut top: Vec<Token> = Vec::new();
+
+    while let Some(c) = lx.peek() {
+        let span = lx.span();
+        match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek2() == Some('/') => lx.line_comment(),
+            '/' if lx.peek2() == Some('*') => lx.block_comment()?,
+            '(' | '[' | '{' => {
+                let d = match c {
+                    '(' => Delim::Paren,
+                    '[' => Delim::Bracket,
+                    _ => Delim::Brace,
+                };
+                lx.bump();
+                stack.push((d, span, std::mem::take(&mut top)));
+                top = Vec::new();
+            }
+            ')' | ']' | '}' => {
+                let d = match c {
+                    ')' => Delim::Paren,
+                    ']' => Delim::Bracket,
+                    _ => Delim::Brace,
+                };
+                lx.bump();
+                let Some((open_d, open_span, mut outer)) = stack.pop() else {
+                    return Err(Error {
+                        span,
+                        msg: format!("unmatched closing `{c}`"),
+                    });
+                };
+                if open_d != d {
+                    return Err(Error {
+                        span,
+                        msg: format!("mismatched delimiter opened at {open_span:?}"),
+                    });
+                }
+                outer.push(Token {
+                    tok: Tok::Group(d, std::mem::take(&mut top)),
+                    span: open_span,
+                });
+                top = outer;
+            }
+            '"' => top.push(lx.string(span, false)?),
+            '\'' => top.push(lx.quote(span)?),
+            'r' | 'b' if lx.raw_or_byte_start() => top.push(lx.raw_or_byte(span)?),
+            c if c.is_ascii_digit() => top.push(lx.number(span)),
+            c if is_ident_start(c) => top.push(lx.ident(span)),
+            _ => top.push(lx.punct(span)?),
+        }
+    }
+    if let Some((_, open_span, _)) = stack.pop() {
+        return Err(Error {
+            span: open_span,
+            msg: "unclosed delimiter".into(),
+        });
+    }
+    Ok(top)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.chars.get(self.i + n).copied()
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) -> Result<(), Error> {
+        let start = self.span();
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    return Err(Error {
+                        span: start,
+                        msg: "unterminated block comment".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A `"…"` string (or the tail of a byte string when `prefixed`).
+    fn string(&mut self, span: Span, prefixed: bool) -> Result<Token, Error> {
+        let mut text = String::new();
+        if prefixed {
+            text.push('b');
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+                None => {
+                    return Err(Error {
+                        span,
+                        msg: "unterminated string literal".into(),
+                    })
+                }
+            }
+        }
+        Ok(Token {
+            tok: Tok::Str(text),
+            span,
+        })
+    }
+
+    /// `'a` lifetime or `'x'` char literal.
+    fn quote(&mut self, span: Span) -> Result<Token, Error> {
+        self.bump(); // the quote
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                let mut text = String::from("'");
+                text.push('\\');
+                self.bump();
+                match self.bump() {
+                    Some('x') => {
+                        text.push('x');
+                        for _ in 0..2 {
+                            if let Some(h) = self.bump() {
+                                text.push(h);
+                            }
+                        }
+                    }
+                    Some('u') => {
+                        text.push('u');
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(e) => text.push(e),
+                    None => {
+                        return Err(Error {
+                            span,
+                            msg: "unterminated char literal".into(),
+                        })
+                    }
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    text.push('\'');
+                }
+                Ok(Token {
+                    tok: Tok::Str(text),
+                    span,
+                })
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be a lifetime ('a) or a char ('a'). Scan the ident
+                // and decide by the presence of a closing quote.
+                let mut name = String::new();
+                let mut n = 0usize;
+                while let Some(c) = self.peek_at(n) {
+                    if is_ident_cont(c) {
+                        name.push(c);
+                        n += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek_at(n) == Some('\'') && name.chars().count() == 1 {
+                    for _ in 0..=n {
+                        self.bump();
+                    }
+                    Ok(Token {
+                        tok: Tok::Str(format!("'{name}'")),
+                        span,
+                    })
+                } else {
+                    for _ in 0..n {
+                        self.bump();
+                    }
+                    Ok(Token {
+                        tok: Tok::Lifetime(name),
+                        span,
+                    })
+                }
+            }
+            Some(c) => {
+                // Non-ident char literal like '+' or ' '.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    Ok(Token {
+                        tok: Tok::Str(format!("'{c}'")),
+                        span,
+                    })
+                } else {
+                    Err(Error {
+                        span,
+                        msg: format!("stray quote before {c:?}"),
+                    })
+                }
+            }
+            None => Err(Error {
+                span,
+                msg: "unterminated quote".into(),
+            }),
+        }
+    }
+
+    /// True when the cursor sits on the start of a raw string / raw ident
+    /// / byte literal (`r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`).
+    fn raw_or_byte_start(&self) -> bool {
+        match self.peek() {
+            Some('r') => matches!(self.peek2(), Some('"') | Some('#')),
+            Some('b') => match self.peek2() {
+                Some('"') | Some('\'') => true,
+                // `br` only starts a byte-raw string when `"` or `#`
+                // follows — otherwise it is an ident like `break`.
+                Some('r') => matches!(self.peek_at(2), Some('"') | Some('#')),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte(&mut self, span: Span) -> Result<Token, Error> {
+        match (self.peek(), self.peek2()) {
+            (Some('r'), Some('#')) if self.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#type.
+                self.bump();
+                self.bump();
+                let mut t = self.ident(span);
+                if let Tok::Ident(name) = &mut t.tok {
+                    *name = format!("r#{name}");
+                }
+                Ok(t)
+            }
+            (Some('r'), _) => {
+                self.bump();
+                self.raw_string(span, "r")
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                let t = self.quote(span)?;
+                Ok(t)
+            }
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string(span, true)
+            }
+            (Some('b'), Some('r')) => {
+                self.bump();
+                self.bump();
+                self.raw_string(span, "br")
+            }
+            _ => unreachable!("raw_or_byte_start checked the prefix"),
+        }
+    }
+
+    /// The `#…#"…"#…#` tail of a raw string (cursor past the prefix).
+    fn raw_string(&mut self, span: Span, prefix: &str) -> Result<Token, Error> {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return Err(Error {
+                span,
+                msg: "malformed raw string".into(),
+            });
+        }
+        self.bump();
+        let mut text = format!("{prefix}{}\"", "#".repeat(hashes));
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek_at(n) == Some('#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        text.push('"');
+                        text.push_str(&"#".repeat(hashes));
+                        break;
+                    }
+                    text.push('"');
+                }
+                Some(c) => text.push(c),
+                None => {
+                    return Err(Error {
+                        span,
+                        msg: "unterminated raw string".into(),
+                    })
+                }
+            }
+        }
+        Ok(Token {
+            tok: Tok::Str(text),
+            span,
+        })
+    }
+
+    fn number(&mut self, span: Span) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_cont(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: a dot followed by a digit (so `1..2` ranges and
+        // `1.max(2)` method calls stay separate tokens).
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if is_ident_cont(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign: `1e-9` — the alnum walk stops at `-`.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && !text.starts_with("0x")
+            && matches!(self.peek(), Some('+') | Some('-'))
+            && self.peek2().is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().expect("peeked sign"));
+            while let Some(c) = self.peek() {
+                if is_ident_cont(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let hexish =
+            text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o");
+        let is_float = text.contains('.')
+            || (!hexish
+                && (text.ends_with("f32")
+                    || text.ends_with("f64")
+                    || text
+                        .bytes()
+                        .zip(text.bytes().skip(1))
+                        .any(|(a, b)| {
+                            (a == b'e' || a == b'E')
+                                && (b.is_ascii_digit() || b == b'+' || b == b'-')
+                        })));
+        Token {
+            tok: if is_float {
+                Tok::Float(text)
+            } else {
+                Tok::Int(text)
+            },
+            span,
+        }
+    }
+
+    fn ident(&mut self, span: Span) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_cont(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token {
+            tok: Tok::Ident(text),
+            span,
+        }
+    }
+
+    fn punct(&mut self, span: Span) -> Result<Token, Error> {
+        for op in OPS {
+            if op
+                .chars()
+                .enumerate()
+                .all(|(n, c)| self.peek_at(n) == Some(c))
+            {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                return Ok(Token {
+                    tok: Tok::Punct(op.to_string()),
+                    span,
+                });
+            }
+        }
+        let c = self.bump().expect("punct called at a char");
+        if "+-*/%=<>!&|^~@#$?;:,.".contains(c) {
+            Ok(Token {
+                tok: Tok::Punct(c.to_string()),
+                span,
+            })
+        } else {
+            Err(Error {
+                span,
+                msg: format!("unexpected character {c:?}"),
+            })
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline vendored stand-in for `syn`.
+//!
+//! The real `syn` exposes a full typed AST over `proc_macro2` token
+//! streams; this stand-in covers only the subset the DozzNoC
+//! `cargo xtask analyze` passes consume:
+//!
+//! - [`parse_file`] lexes a whole source file into span-carrying token
+//!   trees (`//`/`/* */` comments stripped, strings/chars/lifetimes/raw
+//!   strings handled, multi-character operators munched greedily) and
+//!   parses the item skeleton on top: functions with attributes,
+//!   signatures (name, inputs, return-type tokens) and body token trees,
+//!   `impl` blocks with their self type, inline modules (so `#[cfg(test)]`
+//!   subtrees can be skipped), and everything else as verbatim tokens.
+//! - Every token carries a [`Span`] (1-based line, 1-based column) so
+//!   diagnostics point at real source locations.
+//!
+//! Expression grammar is deliberately *not* modelled: the analyzer's
+//! passes pattern-match token sequences inside function bodies, which is
+//! exactly the granularity a structural linter for this codebase needs
+//! (type names, call chains, operators) without a full parser's surface.
+
+mod lex;
+mod parse;
+
+pub use lex::{lex, Delim, Error, Span, Tok, Token};
+pub use parse::{parse_file, Attr, File, Item, ItemFn, ItemImpl, ItemMod, Param, Signature};
+
+/// Render a token slice back to compact source-ish text (single spaces
+/// between tokens, groups re-delimited). Used for human-readable type
+/// strings in diagnostics; not guaranteed to round-trip.
+pub fn tokens_to_string(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    render(tokens, &mut out);
+    out
+}
+
+fn render(tokens: &[Token], out: &mut String) {
+    for t in tokens {
+        if !out.is_empty() && !out.ends_with(['(', '[', '{', ' ']) {
+            match &t.tok {
+                Tok::Punct(p) if p == "::" || p == "," || p == ";" => {}
+                _ => out.push(' '),
+            }
+        }
+        match &t.tok {
+            Tok::Ident(s) | Tok::Lifetime(s) | Tok::Int(s) | Tok::Float(s) | Tok::Str(s) => {
+                out.push_str(s)
+            }
+            Tok::Punct(p) => out.push_str(p),
+            Tok::Group(d, inner) => {
+                let (open, close) = match d {
+                    Delim::Paren => ('(', ')'),
+                    Delim::Bracket => ('[', ']'),
+                    Delim::Brace => ('{', '}'),
+                };
+                out.push(open);
+                render(inner, out);
+                out.push(close);
+            }
+        }
+    }
+}
+
+/// Depth-first walk over a token tree, visiting every token (group
+/// tokens are visited before their contents).
+pub fn walk_tokens<'a>(tokens: &'a [Token], f: &mut dyn FnMut(&'a Token)) {
+    for t in tokens {
+        f(t);
+        if let Tok::Group(_, inner) = &t.tok {
+            walk_tokens(inner, f);
+        }
+    }
+}

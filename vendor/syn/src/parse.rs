@@ -1,0 +1,503 @@
+//! Item-level parser: token trees → the item skeleton of a file.
+
+use crate::lex::{lex, Delim, Error, Span, Tok, Token};
+
+/// A parsed source file: its items, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// An outer attribute, e.g. `#[must_use = "..."]` or `#[cfg(test)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// First path segment inside the brackets (`must_use`, `cfg`, `derive`).
+    pub path: String,
+    /// Every token between the brackets, verbatim.
+    pub tokens: Vec<Token>,
+    pub span: Span,
+}
+
+impl Attr {
+    /// True when this is `#[cfg(test)]` (or any `cfg` list naming `test`).
+    pub fn is_cfg_test(&self) -> bool {
+        self.path == "cfg"
+            && self.tokens.iter().any(|t| match &t.tok {
+                Tok::Group(_, inner) => inner.iter().any(|t| t.ident() == Some("test")),
+                _ => false,
+            })
+    }
+}
+
+/// One item. Anything the analyzer does not model structurally is kept
+/// as its raw tokens so token-level passes still see it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Fn(ItemFn),
+    Impl(ItemImpl),
+    Mod(ItemMod),
+    Verbatim(Vec<Token>),
+}
+
+/// A function (free or method) with its attributes, signature, and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemFn {
+    pub attrs: Vec<Attr>,
+    pub sig: Signature,
+    /// Body token tree; `None` for trait method declarations.
+    pub body: Option<Vec<Token>>,
+    pub span: Span,
+}
+
+/// A function signature, token-granular.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    pub ident: String,
+    pub inputs: Vec<Param>,
+    /// Tokens after `->`, empty when the function returns `()`.
+    pub output: Vec<Token>,
+}
+
+/// One parameter: its binding name (when it is a simple binding) and the
+/// tokens of its type annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: Option<String>,
+    pub ty: Vec<Token>,
+}
+
+/// An `impl` block: self type (last path segment), optional trait name,
+/// and the items inside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemImpl {
+    pub self_ty: String,
+    pub trait_: Option<String>,
+    pub items: Vec<Item>,
+    pub span: Span,
+}
+
+/// A module: inline modules carry their items, `mod foo;` carries none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemMod {
+    pub attrs: Vec<Attr>,
+    pub ident: String,
+    pub items: Option<Vec<Item>>,
+    pub span: Span,
+}
+
+/// Parse a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let tokens = lex(src)?;
+    Ok(File {
+        items: parse_items(&tokens),
+    })
+}
+
+/// Keywords that introduce an item we skip to `;` or past one group.
+const SKIP_TO_SEMI_OR_BRACE: [&str; 7] =
+    ["struct", "enum", "union", "type", "use", "static", "extern"];
+
+fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let start = i;
+        // Outer attributes (`#[...]`); inner attributes (`#![...]`) are
+        // consumed and dropped.
+        let mut attrs = Vec::new();
+        while i < tokens.len() && tokens[i].is_punct("#") {
+            let inner_attr = i + 1 < tokens.len() && tokens[i + 1].is_punct("!");
+            let g = if inner_attr { i + 2 } else { i + 1 };
+            match tokens.get(g) {
+                Some(Token {
+                    tok: Tok::Group(Delim::Bracket, inner),
+                    span,
+                }) => {
+                    if !inner_attr {
+                        attrs.push(Attr {
+                            path: inner
+                                .first()
+                                .and_then(Token::ident)
+                                .unwrap_or_default()
+                                .to_string(),
+                            tokens: inner.clone(),
+                            span: *span,
+                        });
+                    }
+                    i = g + 1;
+                }
+                _ => break,
+            }
+        }
+        // Visibility: `pub`, `pub(crate)`, `pub(in path)`.
+        if i < tokens.len() && tokens[i].ident() == Some("pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(Token {
+                    tok: Tok::Group(Delim::Paren, _),
+                    ..
+                })
+            ) {
+                i += 1;
+            }
+        }
+        // Function qualifiers before `fn`.
+        while i < tokens.len()
+            && matches!(
+                tokens[i].ident(),
+                Some("const" | "async" | "unsafe" | "default" | "extern")
+            )
+        {
+            // `const NAME: ...` / `extern "C" { ... }` are items, not
+            // qualifiers — only treat these as qualifiers when a `fn`
+            // (or more qualifiers) follows.
+            let next_is_fnish = matches!(
+                tokens.get(i + 1).and_then(Token::ident),
+                Some("fn" | "const" | "async" | "unsafe" | "extern")
+            ) || matches!(
+                (tokens[i].ident(), tokens.get(i + 1).map(|t| &t.tok)),
+                (Some("extern"), Some(Tok::Str(_)))
+            );
+            if next_is_fnish {
+                i += 1;
+                if matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Str(_))) {
+                    i += 1; // extern ABI string
+                }
+            } else {
+                break;
+            }
+        }
+
+        match tokens.get(i).and_then(Token::ident) {
+            Some("fn") => {
+                let (item, next) = parse_fn(tokens, i, attrs);
+                items.push(item);
+                i = next;
+            }
+            Some("impl") => {
+                let (item, next) = parse_impl(tokens, i);
+                items.push(item);
+                i = next;
+            }
+            Some("mod") => {
+                let span = tokens[i].span;
+                let ident = tokens
+                    .get(i + 1)
+                    .and_then(Token::ident)
+                    .unwrap_or_default()
+                    .to_string();
+                i += 2;
+                let mut inner = None;
+                if let Some(Token {
+                    tok: Tok::Group(Delim::Brace, body),
+                    ..
+                }) = tokens.get(i)
+                {
+                    inner = Some(parse_items(body));
+                    i += 1;
+                } else if tokens.get(i).is_some_and(|t| t.is_punct(";")) {
+                    i += 1;
+                }
+                items.push(Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    items: inner,
+                    span,
+                }));
+            }
+            Some("trait") => {
+                // Walk to the body brace (skipping supertrait bounds and
+                // where clauses) and parse the method skeletons inside.
+                let span = tokens[i].span;
+                let name = tokens
+                    .get(i + 1)
+                    .and_then(Token::ident)
+                    .unwrap_or_default()
+                    .to_string();
+                i += 1;
+                while i < tokens.len() {
+                    if let Tok::Group(Delim::Brace, body) = &tokens[i].tok {
+                        items.push(Item::Impl(ItemImpl {
+                            self_ty: name,
+                            trait_: None,
+                            items: parse_items(body),
+                            span,
+                        }));
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            Some(kw) if SKIP_TO_SEMI_OR_BRACE.contains(&kw) || kw == "const" => {
+                // `struct X { .. }` ends at its brace group; `struct X(..);`,
+                // `const N: T = ..;`, `use ..;` end at `;`.
+                let item_start = i;
+                while i < tokens.len() {
+                    if tokens[i].is_punct(";") {
+                        i += 1;
+                        break;
+                    }
+                    if matches!(&tokens[i].tok, Tok::Group(Delim::Brace, _))
+                        && matches!(kw, "struct" | "enum" | "union" | "extern")
+                    {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                items.push(Item::Verbatim(tokens[item_start..i].to_vec()));
+            }
+            Some("macro_rules") => {
+                // macro_rules ! name { ... }
+                while i < tokens.len() {
+                    if matches!(&tokens[i].tok, Tok::Group(Delim::Brace, _)) {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                items.push(Item::Verbatim(tokens[start..i].to_vec()));
+            }
+            _ => {
+                // Unknown leading token (macro invocation at item level,
+                // stray semicolon…): consume through the next `;` or
+                // brace group so progress is guaranteed.
+                while i < tokens.len() {
+                    let done = tokens[i].is_punct(";")
+                        || matches!(&tokens[i].tok, Tok::Group(Delim::Brace, _));
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                if i > start {
+                    items.push(Item::Verbatim(tokens[start..i].to_vec()));
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    items
+}
+
+/// Parse `fn name <generics>? (params) (-> ty)? where…? { body }` with the
+/// cursor on `fn`. Returns the item and the index past it.
+fn parse_fn(tokens: &[Token], mut i: usize, attrs: Vec<Attr>) -> (Item, usize) {
+    let span = tokens[i].span;
+    i += 1;
+    let ident = tokens
+        .get(i)
+        .and_then(Token::ident)
+        .unwrap_or_default()
+        .to_string();
+    i += 1;
+    // Generics: `<` … `>` with `<<`/`>>` counting double.
+    if tokens.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i64;
+        while i < tokens.len() {
+            match &tokens[i].tok {
+                Tok::Punct(p) if p == "<" => depth += 1,
+                Tok::Punct(p) if p == "<<" => depth += 2,
+                Tok::Punct(p) if p == ">" => depth -= 1,
+                Tok::Punct(p) if p == ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // Parameters.
+    let mut inputs = Vec::new();
+    if let Some(Token {
+        tok: Tok::Group(Delim::Paren, params),
+        ..
+    }) = tokens.get(i)
+    {
+        inputs = parse_params(params);
+        i += 1;
+    }
+    // Return type: tokens between `->` and the body / `;` / `where`.
+    let mut output = Vec::new();
+    if tokens.get(i).is_some_and(|t| t.is_punct("->")) {
+        i += 1;
+        while i < tokens.len() {
+            if tokens[i].is_punct(";")
+                || tokens[i].ident() == Some("where")
+                || matches!(&tokens[i].tok, Tok::Group(Delim::Brace, _))
+            {
+                break;
+            }
+            output.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    // Where clause: skip to the body or `;`.
+    while i < tokens.len()
+        && !tokens[i].is_punct(";")
+        && !matches!(&tokens[i].tok, Tok::Group(Delim::Brace, _))
+    {
+        i += 1;
+    }
+    let mut body = None;
+    if let Some(Token {
+        tok: Tok::Group(Delim::Brace, b),
+        ..
+    }) = tokens.get(i)
+    {
+        body = Some(b.clone());
+        i += 1;
+    } else if tokens.get(i).is_some_and(|t| t.is_punct(";")) {
+        i += 1;
+    }
+    (
+        Item::Fn(ItemFn {
+            attrs,
+            sig: Signature {
+                ident,
+                inputs,
+                output,
+            },
+            body,
+            span,
+        }),
+        i,
+    )
+}
+
+/// Split a parameter list on top-level commas and extract binding names.
+fn parse_params(tokens: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    for chunk in split_top_level(tokens, ",") {
+        if chunk.is_empty() {
+            continue;
+        }
+        // `self` receivers: `self`, `&self`, `&mut self`, `mut self`.
+        if chunk.iter().any(|t| t.ident() == Some("self"))
+            && !chunk.iter().any(|t| t.is_punct(":"))
+        {
+            params.push(Param {
+                name: Some("self".into()),
+                ty: Vec::new(),
+            });
+            continue;
+        }
+        let colon = chunk.iter().position(|t| t.is_punct(":"));
+        match colon {
+            Some(c) => {
+                let pat = &chunk[..c];
+                let name = match pat {
+                    [t] => t.ident().map(str::to_string),
+                    [m, t] if m.ident() == Some("mut") => t.ident().map(str::to_string),
+                    _ => None,
+                };
+                params.push(Param {
+                    name,
+                    ty: chunk[c + 1..].to_vec(),
+                });
+            }
+            None => params.push(Param {
+                name: None,
+                ty: chunk.to_vec(),
+            }),
+        }
+    }
+    params
+}
+
+/// Split a token slice on a top-level punct (groups are opaque; angle
+/// brackets tracked so `Result<A, B>` does not split).
+fn split_top_level<'a>(tokens: &'a [Token], sep: &str) -> Vec<&'a [Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct(p) if p == "<" => depth += 1,
+            Tok::Punct(p) if p == "<<" => depth += 2,
+            Tok::Punct(p) if p == ">" => depth -= 1,
+            Tok::Punct(p) if p == ">>" => depth -= 2,
+            Tok::Punct(p) if p == sep && depth <= 0 => {
+                out.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&tokens[start..]);
+    out
+}
+
+/// Parse `impl <generics>? Type { .. }` / `impl Trait for Type { .. }`
+/// with the cursor on `impl`.
+fn parse_impl(tokens: &[Token], mut i: usize) -> (Item, usize) {
+    let span = tokens[i].span;
+    i += 1;
+    // Generics on the impl itself.
+    if tokens.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i64;
+        while i < tokens.len() {
+            match &tokens[i].tok {
+                Tok::Punct(p) if p == "<" => depth += 1,
+                Tok::Punct(p) if p == "<<" => depth += 2,
+                Tok::Punct(p) if p == ">" => depth -= 1,
+                Tok::Punct(p) if p == ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // Header tokens up to the body brace.
+    let mut header: Vec<&Token> = Vec::new();
+    let mut body = None;
+    while i < tokens.len() {
+        if let Tok::Group(Delim::Brace, b) = &tokens[i].tok {
+            body = Some(b);
+            i += 1;
+            break;
+        }
+        header.push(&tokens[i]);
+        i += 1;
+    }
+    let for_pos = header.iter().position(|t| t.ident() == Some("for"));
+    let (trait_part, ty_part) = match for_pos {
+        Some(p) => (&header[..p], &header[p + 1..]),
+        None => (&header[..0], &header[..]),
+    };
+    let last_path_ident = |toks: &[&Token]| -> String {
+        let mut name = String::new();
+        for t in toks {
+            if t.is_punct("<") {
+                break;
+            }
+            if let Some(id) = t.ident() {
+                if id != "where" && id != "dyn" && id != "mut" {
+                    name = id.to_string();
+                }
+            }
+        }
+        name
+    };
+    let self_ty = last_path_ident(ty_part);
+    let trait_ = if trait_part.is_empty() {
+        None
+    } else {
+        Some(last_path_ident(trait_part))
+    };
+    (
+        Item::Impl(ItemImpl {
+            self_ty,
+            trait_,
+            items: body.map(|b| parse_items(b)).unwrap_or_default(),
+            span,
+        }),
+        i,
+    )
+}
