@@ -18,7 +18,11 @@
 //!    [`ModelSuite`] (λ, validation MSE and epoch size included),
 //! 5. the [`dozznoc_traffic::Trace::digest`] of the exact (benchmark,
 //!    seed, duration, load-scale) trace content, and
-//! 6. the [`ModelKind`] slug.
+//! 6. the policy slug ([`crate::registry::PolicySpec::slug`]; for the
+//!    paper models this equals `ModelKind::slug`, so fingerprints and
+//!    warm caches survive the registry redesign byte-for-byte —
+//!    parameterized specs render their sorted key/value pairs into the
+//!    slug, so distinct parameterizations never collide).
 //!
 //! Items 1–4 are shared by every cell of a campaign, so the engine
 //! hashes them once into a [`Fnv64`] base state and forks it per cell
@@ -49,7 +53,6 @@ use serde::{Deserialize, Serialize};
 
 use dozznoc_noc::{NocConfig, RunReport, REPORT_FORMAT_VERSION};
 
-use crate::model::ModelKind;
 use crate::training::ModelSuite;
 
 /// Incremental FNV-1a hasher with a stable, platform-independent
@@ -128,11 +131,13 @@ pub fn campaign_base(cfg: &NocConfig, suite: &ModelSuite) -> Fnv64 {
     h
 }
 
-/// Fork a campaign base with one cell's trace digest and model.
-pub fn cell_fingerprint(base: Fnv64, trace_digest: u64, kind: ModelKind) -> Fingerprint {
+/// Fork a campaign base with one cell's trace digest and policy slug
+/// (a `ModelKind::slug` or a `PolicySpec::slug` — for the paper models
+/// the two are byte-identical).
+pub fn cell_fingerprint(base: Fnv64, trace_digest: u64, policy: &str) -> Fingerprint {
     let mut h = base;
     h.write_u64(trace_digest);
-    h.write_str(kind.slug());
+    h.write_str(policy);
     Fingerprint(h.finish())
 }
 
@@ -158,7 +163,8 @@ struct CachedRun {
     format: u32,
     /// The full fingerprint, re-checked against the file's key on load.
     fingerprint: String,
-    /// Model slug of the cached cell.
+    /// Policy slug of the cached cell (field name `model` is frozen:
+    /// it is the on-disk envelope schema).
     model: String,
     /// Trace name of the cached cell.
     trace: String,
@@ -217,11 +223,11 @@ impl RunCache {
     }
 
     /// Look up a cell. A hit must match the fingerprint, format
-    /// version, model slug and trace name recorded in the envelope;
+    /// version, policy slug and trace name recorded in the envelope;
     /// anything else — missing file, parse failure, collision — is a
     /// miss.
-    pub fn get(&self, fp: Fingerprint, kind: ModelKind, trace_name: &str) -> Option<RunReport> {
-        let hit = self.load(fp, kind, trace_name);
+    pub fn get(&self, fp: Fingerprint, policy: &str, trace_name: &str) -> Option<RunReport> {
+        let hit = self.load(fp, policy, trace_name);
         match hit {
             // xtask-analyze: allow(atomic-ordering) — counters order nothing; the
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -231,12 +237,12 @@ impl RunCache {
         hit
     }
 
-    fn load(&self, fp: Fingerprint, kind: ModelKind, trace_name: &str) -> Option<RunReport> {
+    fn load(&self, fp: Fingerprint, policy: &str, trace_name: &str) -> Option<RunReport> {
         let raw = fs::read_to_string(self.entry_path(fp)).ok()?;
         let entry: CachedRun = serde_json::from_str(&raw).ok()?;
         let valid = entry.format == REPORT_FORMAT_VERSION
             && entry.fingerprint == fp.to_string()
-            && entry.model == kind.slug()
+            && entry.model == policy
             && entry.trace == trace_name;
         valid.then_some(entry.report)
     }
@@ -244,11 +250,11 @@ impl RunCache {
     /// Persist a freshly simulated cell. Best-effort: any I/O failure
     /// leaves the cache cold for this cell and the campaign result
     /// untouched.
-    pub fn put(&self, fp: Fingerprint, kind: ModelKind, report: &RunReport) {
+    pub fn put(&self, fp: Fingerprint, policy: &str, report: &RunReport) {
         let entry = CachedRun {
             format: REPORT_FORMAT_VERSION,
             fingerprint: fp.to_string(),
-            model: kind.slug().to_string(),
+            model: policy.to_string(),
             trace: report.trace.clone(),
             report: report.clone(),
         };
@@ -273,6 +279,7 @@ impl RunCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::ModelKind;
     use crate::training::Trainer;
     use dozznoc_ml::FeatureSet;
     use dozznoc_topology::Topology;
@@ -333,33 +340,27 @@ mod tests {
         let trace = tiny_trace(topo);
         let base = campaign_base(&cfg, &suite);
 
-        let fp = cell_fingerprint(base, trace.digest(), ModelKind::DozzNoc);
+        let fp = cell_fingerprint(base, trace.digest(), "dozznoc");
         // Same inputs → same fingerprint.
         assert_eq!(
             fp,
-            cell_fingerprint(
-                campaign_base(&cfg, &suite),
-                trace.digest(),
-                ModelKind::DozzNoc
-            )
+            cell_fingerprint(campaign_base(&cfg, &suite), trace.digest(), "dozznoc")
         );
-        // Model, trace, and config all separate.
+        // Policy, trace, and config all separate.
+        assert_ne!(fp, cell_fingerprint(base, trace.digest(), "baseline"));
+        // Parameterized specs of one policy separate from the defaults.
         assert_ne!(
             fp,
-            cell_fingerprint(base, trace.digest(), ModelKind::Baseline)
+            cell_fingerprint(base, trace.digest(), "dozznoc?epoch=250")
         );
         assert_ne!(
             fp,
-            cell_fingerprint(base, trace.compress(2).digest(), ModelKind::DozzNoc)
+            cell_fingerprint(base, trace.compress(2).digest(), "dozznoc")
         );
         let other_cfg = cfg.with_t_idle(16);
         assert_ne!(
             fp,
-            cell_fingerprint(
-                campaign_base(&other_cfg, &suite),
-                trace.digest(),
-                ModelKind::DozzNoc
-            )
+            cell_fingerprint(campaign_base(&other_cfg, &suite), trace.digest(), "dozznoc")
         );
     }
 
@@ -380,12 +381,12 @@ mod tests {
         let fp = cell_fingerprint(
             campaign_base(&NocConfig::paper(topo), &suite),
             trace.digest(),
-            ModelKind::Baseline,
+            ModelKind::Baseline.slug(),
         );
-        assert!(cache.get(fp, ModelKind::Baseline, &trace.name).is_none());
-        cache.put(fp, ModelKind::Baseline, &report);
+        assert!(cache.get(fp, "baseline", &trace.name).is_none());
+        cache.put(fp, "baseline", &report);
         let back = cache
-            .get(fp, ModelKind::Baseline, &trace.name)
+            .get(fp, "baseline", &trace.name)
             .expect("stored entry hits");
         // Byte-identical round trip, floats included.
         assert_eq!(
@@ -417,13 +418,15 @@ mod tests {
         let dir = temp_store("mismatch");
         let cache = RunCache::open(&dir);
         let fp = Fingerprint(42);
-        cache.put(fp, ModelKind::Baseline, &report);
-        // Wrong model or wrong trace name → miss, not a wrong report.
-        assert!(cache.get(fp, ModelKind::DozzNoc, &trace.name).is_none());
-        assert!(cache.get(fp, ModelKind::Baseline, "not-fft").is_none());
+        cache.put(fp, "baseline", &report);
+        // Wrong policy or wrong trace name → miss, not a wrong report.
+        assert!(cache.get(fp, "dozznoc", &trace.name).is_none());
+        assert!(cache.get(fp, "baseline", "not-fft").is_none());
+        // A parameterized slug of the same policy is a different key.
+        assert!(cache.get(fp, "baseline?x=1", &trace.name).is_none());
         // Corrupt entry → miss.
         fs::write(cache.entry_path(fp), "{torn").expect("test write");
-        assert!(cache.get(fp, ModelKind::Baseline, &trace.name).is_none());
+        assert!(cache.get(fp, "baseline", &trace.name).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

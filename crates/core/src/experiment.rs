@@ -16,7 +16,7 @@ use std::sync::{Arc, OnceLock};
 use serde::{Deserialize, Serialize};
 
 use dozznoc_noc::{
-    Network, NocConfig, NullSink, RunReport, SanitizerReport, SimSanitizer, Telemetry,
+    Network, NocConfig, NullSink, PowerPolicy, RunReport, SanitizerReport, SimSanitizer, Telemetry,
 };
 use dozznoc_topology::Topology;
 use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
@@ -24,6 +24,7 @@ use dozznoc_types::ConfigError;
 
 use crate::cache::{self, RunCache};
 use crate::model::{ModelKind, ALL_MODELS};
+use crate::registry::{PolicyContext, PolicyError, PolicyRegistry, PolicySpec};
 use crate::schedule;
 use crate::training::ModelSuite;
 
@@ -67,7 +68,54 @@ pub fn run_model_sanitized(
         .unwrap_or_else(|e| panic!("{kind} on {} failed: {e}", trace.name))
 }
 
+/// Run one registered policy (any [`PolicySpec`], paper model or
+/// plug-in) on one trace, streaming telemetry into `tel`. Errors on
+/// unknown names or invalid parameters instead of panicking — this is
+/// the CLI-boundary entry point.
+pub fn run_policy_with_telemetry(
+    cfg: NocConfig,
+    trace: &Trace,
+    spec: &PolicySpec,
+    registry: &PolicyRegistry,
+    suite: &ModelSuite,
+    tel: &mut dyn Telemetry,
+) -> Result<RunReport, PolicyError> {
+    let mut policy = registry.build(spec, &PolicyContext { suite })?;
+    Ok(Network::new(cfg)
+        .run_with_telemetry(trace, policy.as_mut(), tel)
+        // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed run invalidates the whole campaign
+        .unwrap_or_else(|e| panic!("{spec} on {} failed: {e}", trace.name)))
+}
+
+/// Simulate one already-built policy, optionally under the invariant
+/// sanitizer. The single funnel every engine cell goes through.
+fn simulate(
+    cfg: NocConfig,
+    trace: &Trace,
+    policy: &mut dyn PowerPolicy,
+    sanitize: bool,
+) -> (RunReport, Option<SanitizerReport>) {
+    if sanitize {
+        let mut san = SimSanitizer::default();
+        let report = Network::new(cfg)
+            .run_sanitized(trace, policy, &mut NullSink, &mut san)
+            // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed run invalidates the whole campaign
+            .unwrap_or_else(|e| panic!("policy on {} failed: {e}", trace.name));
+        (report, Some(san.report()))
+    } else {
+        let report = Network::new(cfg)
+            .run_with_telemetry(trace, policy, &mut NullSink)
+            // xtask-analyze: allow(panic-reachability) — driver-level escalation; a failed run invalidates the whole campaign
+            .unwrap_or_else(|e| panic!("policy on {} failed: {e}", trace.name));
+        (report, None)
+    }
+}
+
 /// One cell of a campaign: a model evaluated on a benchmark.
+///
+/// Frozen schema: this struct is serialized into determinism goldens
+/// and CSV artifacts, so it keeps the closed [`ModelKind`] — campaigns
+/// over arbitrary registered policies produce [`PolicyResult`]s instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// The benchmark run.
@@ -76,6 +124,31 @@ pub struct CampaignResult {
     pub model: ModelKind,
     /// The run's report.
     pub report: RunReport,
+}
+
+/// One cell of a policy campaign: a [`PolicySpec`] evaluated on a
+/// benchmark — the open-registry counterpart of [`CampaignResult`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyResult {
+    /// The benchmark run.
+    pub benchmark: String,
+    /// The policy spec run.
+    pub policy: PolicySpec,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// One executed (or replayed) policy-campaign cell.
+#[derive(Debug, Clone)]
+pub struct PolicyCellRun {
+    /// The cell's result, exactly as a cache-less sequential run would
+    /// produce it.
+    pub result: PolicyResult,
+    /// True when the report was replayed from the run cache.
+    pub cache_hit: bool,
+    /// The sanitizer's findings, when the cell was simulated under
+    /// [`EngineOptions::sanitize`].
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// A full evaluation campaign: all five models over a set of benchmarks,
@@ -223,8 +296,62 @@ impl Campaign {
         suite: &ModelSuite,
         opts: &EngineOptions<'_>,
     ) -> Vec<CellRun> {
+        // The ModelKind matrix is a special case of the spec engine:
+        // every kind maps to its defaults-only spec (identical slug, so
+        // identical cache fingerprints), runs through the same cells,
+        // and is mapped back to the frozen CampaignResult schema.
+        let specs: Vec<PolicySpec> = self.models.iter().map(ModelKind::spec).collect();
+        let runs = self
+            .run_policy_cells(benches, &specs, suite, PolicyRegistry::global(), opts)
+            .expect("paper-model default specs always build");
+        runs.into_iter()
+            .enumerate()
+            .map(|(i, run)| CellRun {
+                result: CampaignResult {
+                    benchmark: run.result.benchmark,
+                    // Cell order is benchmark-major, model-minor, so the
+                    // model cycles with period `models.len()`.
+                    model: self.models[i % self.models.len()],
+                    report: run.result.report,
+                },
+                cache_hit: run.cache_hit,
+                sanitizer: run.sanitizer,
+            })
+            .collect()
+    }
+
+    /// Run an arbitrary set of registered policies over the benchmark
+    /// matrix — the open-registry engine behind [`Campaign::run_cells`].
+    ///
+    /// Each (benchmark, spec) cell is an independent task drained by
+    /// `opts.jobs` workers; the policy is built fresh per cell from its
+    /// spec (stateful policies must not leak state across cells), and
+    /// the run cache keys on [`PolicySpec::slug`] so parameterizations
+    /// of one policy never collide. Every spec is resolved and built
+    /// once up front: unknown names and invalid parameters surface as a
+    /// [`PolicyError`] before any cell simulates.
+    ///
+    /// Results arrive in cell order (benchmark-major, spec-minor),
+    /// bit-identical for every `jobs` count and cache state.
+    pub fn run_policy_cells(
+        &self,
+        benches: &[Benchmark],
+        specs: &[PolicySpec],
+        suite: &ModelSuite,
+        registry: &PolicyRegistry,
+        opts: &EngineOptions<'_>,
+    ) -> Result<Vec<PolicyCellRun>, PolicyError> {
+        let ctx = PolicyContext { suite };
+        for spec in specs {
+            drop(registry.build(spec, &ctx)?);
+        }
         let cfg = self.config();
-        let cells = self.cells(benches);
+        let mut cells = Vec::with_capacity(benches.len() * specs.len());
+        for (bi, &bench) in benches.iter().enumerate() {
+            for spec in specs {
+                cells.push((bi, bench, spec));
+            }
+        }
         let base = opts.cache.map(|_| cache::campaign_base(&cfg, suite));
         // One lazily generated (trace, digest) per benchmark, shared by
         // all of its cells.
@@ -232,24 +359,25 @@ impl Campaign {
             benches.iter().map(|_| OnceLock::new()).collect();
 
         let jobs = opts.jobs.unwrap_or_else(schedule::default_jobs);
-        schedule::run_indexed(jobs, cells.len(), |i| {
-            let (bi, bench, model) = cells[i];
+        Ok(schedule::run_indexed(jobs, cells.len(), |i| {
+            let (bi, bench, spec) = cells[i];
+            let slug = spec.slug();
             let (trace, digest) = traces[bi].get_or_init(|| {
                 let trace = self.trace(bench);
                 let digest = trace.digest();
                 (Arc::new(trace), digest)
             });
             let trace = Arc::clone(trace);
-            let result = |report| CampaignResult {
+            let result = |report| PolicyResult {
                 benchmark: bench.name().to_string(),
-                model,
+                policy: spec.clone(),
                 report,
             };
 
-            let fp = base.map(|b| cache::cell_fingerprint(b, *digest, model));
+            let fp = base.map(|b| cache::cell_fingerprint(b, *digest, &slug));
             if let (Some(cache), Some(fp)) = (opts.cache, fp) {
-                if let Some(report) = cache.get(fp, model, &trace.name) {
-                    return CellRun {
+                if let Some(report) = cache.get(fp, &slug, &trace.name) {
+                    return PolicyCellRun {
                         result: result(report),
                         cache_hit: true,
                         sanitizer: None,
@@ -257,23 +385,19 @@ impl Campaign {
                 }
             }
 
-            let (report, sanitizer) = if opts.sanitize {
-                let mut san = SimSanitizer::default();
-                let report =
-                    run_model_sanitized(cfg, &trace, model, suite, &mut NullSink, &mut san);
-                (report, Some(san.report()))
-            } else {
-                (run_model(cfg, &trace, model, suite), None)
-            };
+            let mut policy = registry
+                .build(spec, &ctx)
+                .expect("specs validated before scheduling");
+            let (report, sanitizer) = simulate(cfg, &trace, policy.as_mut(), opts.sanitize);
             if let (Some(cache), Some(fp)) = (opts.cache, fp) {
-                cache.put(fp, model, &report);
+                cache.put(fp, &slug, &report);
             }
-            CellRun {
+            PolicyCellRun {
                 result: result(report),
                 cache_hit: false,
                 sanitizer,
             }
-        })
+        }))
     }
 
     /// Run every model over every benchmark, giving each
@@ -547,6 +671,60 @@ mod tests {
         assert!(Campaign::new(Topology::mesh8x8())
             .try_with_models(&[ModelKind::Baseline])
             .is_ok());
+    }
+
+    #[test]
+    fn policy_cells_surface_bad_specs_before_running() {
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let campaign = Campaign::new(topo).with_duration_ns(2_000);
+        let err = campaign
+            .run_policy_cells(
+                &[Benchmark::Fft],
+                &[PolicySpec::new("no-such-policy")],
+                &suite,
+                PolicyRegistry::global(),
+                &EngineOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Unknown { .. }), "{err}");
+        let err = campaign
+            .run_policy_cells(
+                &[Benchmark::Fft],
+                &[PolicySpec::new("rl-buffer").with_param("gamma", "1.5")],
+                &suite,
+                PolicyRegistry::global(),
+                &EngineOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::BadParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn policy_cells_run_the_extension_policies() {
+        let topo = Topology::mesh8x8();
+        let suite = quick_suite(topo);
+        let campaign = Campaign::new(topo).with_duration_ns(2_000);
+        let specs = [
+            PolicySpec::new("online-ridge"),
+            PolicySpec::new("rl-buffer").with_param("seed", "3"),
+        ];
+        let runs = campaign
+            .run_policy_cells(
+                &[Benchmark::Fft],
+                &specs,
+                &suite,
+                PolicyRegistry::global(),
+                &EngineOptions::default(),
+            )
+            .expect("valid specs");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].result.report.policy, "online-ridge");
+        assert_eq!(runs[1].result.report.policy, "rl-buffer");
+        assert_eq!(runs[1].result.policy.slug(), "rl-buffer?seed=3");
+        for run in &runs {
+            assert!(run.result.report.stats.packets_delivered > 0);
+        }
     }
 
     #[test]

@@ -25,22 +25,31 @@
 //! the [`schedule`] work-stealing cell scheduler with an optional
 //! content-addressed run [`cache`].
 
+//! The policy layer is *open*: [`registry`] defines the plug-in API —
+//! [`PolicyFactory`] implementations registered in a [`PolicyRegistry`]
+//! build [`dozznoc_noc::PowerPolicy`] instances from serializable
+//! [`PolicySpec`]s — and [`ModelKind`] survives only as a compatibility
+//! shim over it. Third-party policies register without touching any
+//! enum; see `DESIGN.md` § "Policy plug-in architecture".
+
 pub mod cache;
 pub mod collect;
 pub mod experiment;
 pub mod features;
 pub mod model;
 pub mod policy;
+pub mod registry;
 pub mod schedule;
 pub mod training;
 
 pub use cache::{CacheStats, Fingerprint, RunCache};
 pub use collect::Collector;
 pub use experiment::{
-    run_model, run_model_sanitized, run_model_with_telemetry, Campaign, CampaignResult, CellRun,
-    EngineOptions,
+    run_model, run_model_sanitized, run_model_with_telemetry, run_policy_with_telemetry, Campaign,
+    CampaignResult, CellRun, EngineOptions, PolicyCellRun, PolicyResult,
 };
 pub use features::{extract_features, feature_value};
 pub use model::ModelKind;
-pub use policy::{Adaptive, Baseline, Oracle, PowerGated, Proactive, Reactive};
+pub use policy::{Adaptive, Baseline, Oracle, PowerGated, Proactive, Reactive, RlBuffer};
+pub use registry::{PolicyContext, PolicyError, PolicyFactory, PolicyRegistry, PolicySpec};
 pub use training::{ModelSuite, Trainer};

@@ -1,10 +1,21 @@
-//! The five evaluation models as a closed enum.
+//! The five paper models as a closed enum — now a thin compatibility
+//! shim over the open [`PolicyRegistry`](crate::registry::PolicyRegistry).
+//!
+//! `ModelKind` predates the policy plug-in API and is serialized into
+//! campaign results, determinism goldens, CSV schemas and cache
+//! envelopes, so the enum and its serde form are frozen. Construction,
+//! name parsing (including every legacy CLI alias) and display labels
+//! all delegate to the registry; the only thing still owned here is the
+//! slug table, which the corresponding factories adopt as their
+//! canonical names. New policies should *not* be added here — register
+//! a [`PolicyFactory`](crate::registry::PolicyFactory) instead and work
+//! with [`PolicySpec`](crate::registry::PolicySpec)s.
 
 use serde::{Deserialize, Serialize};
 
 use dozznoc_noc::PowerPolicy;
 
-use crate::policy::{Baseline, PowerGated, Proactive};
+use crate::registry::{PolicyContext, PolicyRegistry, PolicySpec};
 use crate::training::ModelSuite;
 
 /// The five models compared throughout §IV (Figs. 7–8).
@@ -33,36 +44,39 @@ pub const ALL_MODELS: [ModelKind; 5] = [
 ];
 
 impl ModelKind {
-    /// Instantiate the policy. The trained `suite` is only consulted by
-    /// the ML models.
+    /// Instantiate the policy via the registry. The trained `suite` is
+    /// only consulted by the ML models.
     pub fn build(&self, suite: &ModelSuite) -> Box<dyn PowerPolicy> {
-        match self {
-            ModelKind::Baseline => Box::new(Baseline),
-            ModelKind::PowerGated => Box::new(PowerGated),
-            ModelKind::LeadDvfs => Box::new(Proactive::lead(suite.lead.clone())),
-            ModelKind::DozzNoc => Box::new(Proactive::dozznoc(suite.dozznoc.clone())),
-            ModelKind::MlTurbo => Box::new(Proactive::turbo(suite.turbo.clone())),
-        }
+        PolicyRegistry::global()
+            .build(&self.spec(), &PolicyContext { suite })
+            .expect("every paper-model default spec builds by construction")
+    }
+
+    /// The defaults-only [`PolicySpec`] equivalent of this kind — the
+    /// bridge from the closed enum into the open policy API. Its slug
+    /// equals [`ModelKind::slug`], so cache fingerprints agree between
+    /// the two paths.
+    pub fn spec(&self) -> PolicySpec {
+        PolicySpec::new(self.slug())
     }
 
     /// Parse a CLI-style model name (as printed by `dozz-repro --help`).
+    /// Delegates to the registry, so every factory alias is accepted;
+    /// returns `None` both for unknown names and for registered policies
+    /// that are not paper models (use
+    /// [`PolicyRegistry::parse`](crate::registry::PolicyRegistry::parse)
+    /// to accept those too, with a listing error on failure).
     pub fn parse(name: &str) -> Option<ModelKind> {
-        match name.to_ascii_lowercase().as_str() {
-            "baseline" => Some(ModelKind::Baseline),
-            "pg" | "powergated" | "power-gated" => Some(ModelKind::PowerGated),
-            "lead" | "lead-tau" | "dvfs" => Some(ModelKind::LeadDvfs),
-            "dozznoc" => Some(ModelKind::DozzNoc),
-            "turbo" | "ml-turbo" => Some(ModelKind::MlTurbo),
-            _ => None,
-        }
+        let canonical = PolicyRegistry::global().resolve(name).ok()?.name();
+        ALL_MODELS.into_iter().find(|k| k.slug() == canonical)
     }
 
     /// Whether this model needs trained weights.
     pub fn uses_ml(&self) -> bool {
-        matches!(
-            self,
-            ModelKind::LeadDvfs | ModelKind::DozzNoc | ModelKind::MlTurbo
-        )
+        match PolicyRegistry::global().resolve(self.slug()) {
+            Ok(factory) => factory.uses_ml(),
+            Err(_) => false, // unreachable: every slug is registered
+        }
     }
 
     /// Short lowercase name, stable for filenames and CLI round-trips
@@ -77,14 +91,12 @@ impl ModelKind {
         }
     }
 
-    /// Display name matching the paper's figure legends.
+    /// Display name matching the paper's figure legends (owned by the
+    /// corresponding registry factory).
     pub fn label(&self) -> &'static str {
-        match self {
-            ModelKind::Baseline => "Baseline",
-            ModelKind::PowerGated => "PG",
-            ModelKind::LeadDvfs => "ML+DVFS (LEAD-tau)",
-            ModelKind::DozzNoc => "DOZZNOC (ML+DVFS+PG)",
-            ModelKind::MlTurbo => "ML+TURBO",
+        match PolicyRegistry::global().resolve(self.slug()) {
+            Ok(factory) => factory.label(),
+            Err(_) => self.slug(), // unreachable: every slug is registered
         }
     }
 }
@@ -139,5 +151,21 @@ mod tests {
         assert_eq!(ModelKind::parse("DOZZNOC"), Some(ModelKind::DozzNoc));
         assert_eq!(ModelKind::parse("turbo"), Some(ModelKind::MlTurbo));
         assert_eq!(ModelKind::parse("nonsense"), None);
+        // Aliases come from the registry factories now.
+        assert_eq!(ModelKind::parse("power-gated"), Some(ModelKind::PowerGated));
+        assert_eq!(ModelKind::parse("lead-tau"), Some(ModelKind::LeadDvfs));
+        assert_eq!(ModelKind::parse("dvfs"), Some(ModelKind::LeadDvfs));
+        assert_eq!(ModelKind::parse("ml-turbo"), Some(ModelKind::MlTurbo));
+        // Registered non-paper policies are not ModelKinds.
+        assert_eq!(ModelKind::parse("online-ridge"), None);
+        assert_eq!(ModelKind::parse("rl-buffer"), None);
+    }
+
+    #[test]
+    fn spec_bridge_preserves_slugs() {
+        for kind in ALL_MODELS {
+            assert_eq!(kind.spec().slug(), kind.slug());
+            assert_eq!(kind.spec().to_string(), kind.slug());
+        }
     }
 }

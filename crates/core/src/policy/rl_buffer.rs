@@ -1,0 +1,248 @@
+//! RACE-style tabular Q-learning DVFS/gating controller (extension).
+//!
+//! Where the paper's controller predicts next-epoch buffer utilization
+//! and thresholds it into a mode, this policy learns the mode decision
+//! *directly* by reinforcement: the state is a discretized
+//! (buffer-occupancy, injection-rate) pair, the actions are the five
+//! active modes M3–M7, and the reward trades the chosen mode's
+//! power proxy (`V²·f`, normalized to M7) against a congestion penalty
+//! from the observed stall fractions. A single Q-table is shared across
+//! routers — every router's experience trains the same controller, which
+//! converges far faster than 64 independent tables — while exploration
+//! state stays per-router so decision sequences are independent of how
+//! many routers exist.
+//!
+//! ## Determinism
+//!
+//! Exploration is epsilon-greedy over a seeded [`XorShift64`] stream per
+//! router (seed mixed from the spec's `seed` parameter and the router
+//! index), argmax ties break low, and the simulator calls
+//! [`PowerPolicy::select_mode`] in a deterministic router order — so a
+//! run is a pure function of (spec, trace), which the workspace
+//! determinism suite verifies bit-for-bit across job counts and cache
+//! states.
+
+use dozznoc_ml::rl::{QTable, XorShift64};
+use dozznoc_noc::{EpochObservation, PowerPolicy};
+use dozznoc_types::{Mode, RouterId};
+
+/// Occupancy buckets: the [`dozznoc_ml::metrics::MODE_THRESHOLDS`]
+/// boundaries, so the state space aligns with the supervised
+/// controller's decision regions.
+const OCC_EDGES: [f64; 4] = [0.05, 0.10, 0.20, 0.25];
+/// Injection-rate buckets (flits per local cycle): idle, light, heavy.
+const INJ_EDGES: [f64; 2] = [1e-9, 0.10];
+/// Number of discrete states.
+const STATES: usize = (OCC_EDGES.len() + 1) * (INJ_EDGES.len() + 1);
+/// One action per active mode (M3–M7, by rank).
+const ACTIONS: usize = 5;
+/// Power proxy of the fastest mode, the reward normalizer.
+const MAX_POWER_PROXY: f64 = 1.2 * 1.2 * 2.25;
+/// Weight of the congestion penalty against the normalized power term.
+const PERF_WEIGHT: f64 = 2.0;
+
+/// Default learning rate.
+pub const DEFAULT_ALPHA: f64 = 0.1;
+/// Default discount factor.
+pub const DEFAULT_GAMMA: f64 = 0.8;
+/// Default exploration rate.
+pub const DEFAULT_EPSILON: f64 = 0.05;
+/// Default exploration seed.
+pub const DEFAULT_SEED: u64 = 1;
+
+/// Tabular Q-learning DVFS (+ optional gating) policy.
+#[derive(Debug, Clone)]
+pub struct RlBuffer {
+    table: QTable,
+    epsilon: f64,
+    seed: u64,
+    gating: bool,
+    rngs: Vec<XorShift64>,
+    prev: Vec<Option<(usize, usize)>>,
+}
+
+impl RlBuffer {
+    /// A controller with explicit hyper-parameters. Callers validate
+    /// ranges (`alpha` ∈ (0, 1], `gamma` ∈ [0, 1), `epsilon` ∈ [0, 1]) —
+    /// the registry factory rejects bad values with a `PolicyError`
+    /// before this constructor runs.
+    pub fn new(alpha: f64, gamma: f64, epsilon: f64, seed: u64, gating: bool) -> Self {
+        RlBuffer {
+            table: QTable::new(STATES, ACTIONS, alpha, gamma),
+            epsilon,
+            seed,
+            gating,
+            rngs: Vec::new(),
+            prev: Vec::new(),
+        }
+    }
+
+    /// A controller at the defaults.
+    #[must_use]
+    pub fn with_defaults(gating: bool) -> Self {
+        RlBuffer::new(
+            DEFAULT_ALPHA,
+            DEFAULT_GAMMA,
+            DEFAULT_EPSILON,
+            DEFAULT_SEED,
+            gating,
+        )
+    }
+
+    /// Q-learning backups absorbed so far (inspection/tests).
+    pub fn total_updates(&self) -> u64 {
+        self.table.updates()
+    }
+
+    /// Discretize an observation into a state index.
+    fn state(obs: &EpochObservation) -> usize {
+        let occ = OCC_EDGES.iter().take_while(|&&e| obs.ibu >= e).count();
+        let inj_rate = if obs.cycles > 0 {
+            obs.flits_injected / obs.cycles as f64
+        } else {
+            0.0
+        };
+        let inj = INJ_EDGES.iter().take_while(|&&e| inj_rate >= e).count();
+        occ * (INJ_EDGES.len() + 1) + inj
+    }
+
+    /// Reward for having spent the epoch in `mode`: negative normalized
+    /// power (`V²·f` — static leakage tracks V², dynamic tracks V²·f)
+    /// minus a congestion penalty when flits stalled waiting on the
+    /// too-slow router.
+    fn reward(mode: Mode, obs: &EpochObservation) -> f64 {
+        let power = mode.voltage() * mode.voltage() * mode.freq_ghz() / MAX_POWER_PROXY;
+        let congestion = obs.stall_fraction + obs.credit_stall_fraction;
+        -(power + PERF_WEIGHT * congestion)
+    }
+
+    /// Per-router state grows on demand, so the policy needs no router
+    /// count at construction (any topology works with one spec).
+    fn ensure(&mut self, i: usize) {
+        while self.rngs.len() <= i {
+            // SplitMix64-style mixing keeps nearby router indices from
+            // yielding correlated xorshift streams.
+            let mixed = (self.seed ^ (self.rngs.len() as u64 + 1))
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(31);
+            self.rngs.push(XorShift64::new(mixed));
+            self.prev.push(None);
+        }
+    }
+}
+
+impl PowerPolicy for RlBuffer {
+    fn select_mode(&mut self, router: RouterId, obs: &EpochObservation) -> Mode {
+        let i = router.idx();
+        self.ensure(i);
+        let state = Self::state(obs);
+        // Close out the previous decision: the epoch just observed was
+        // spent under it, so its reward is now known.
+        if let Some((prev_state, prev_action)) = self.prev[i] {
+            let prev_mode = Mode::from_rank(prev_action).unwrap_or(Mode::M7);
+            self.table
+                .update(prev_state, prev_action, Self::reward(prev_mode, obs), state);
+        }
+        let action = self.table.select(state, self.epsilon, &mut self.rngs[i]);
+        self.prev[i] = Some((state, action));
+        Mode::from_rank(action).unwrap_or(Mode::M7)
+    }
+
+    fn gating_enabled(&self) -> bool {
+        self.gating
+    }
+
+    fn ml_features(&self) -> Option<usize> {
+        // A decision costs one table row scan over two discretized
+        // features — bill it like a 2-feature label (§III-D accounting).
+        Some(2)
+    }
+
+    fn name(&self) -> &str {
+        "rl-buffer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ibu: f64, injected: u64, stall: f64) -> EpochObservation {
+        EpochObservation {
+            cycles: 500,
+            ibu,
+            ibu_peak: ibu,
+            flits_injected: injected as f64,
+            stall_fraction: stall,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn state_buckets_cover_the_grid() {
+        assert_eq!(RlBuffer::state(&obs(0.0, 0, 0.0)), 0);
+        assert_eq!(RlBuffer::state(&obs(0.30, 500, 0.0)), STATES - 1);
+        let mid = RlBuffer::state(&obs(0.12, 10, 0.0));
+        assert!(mid > 0 && mid < STATES - 1, "{mid}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Mode> {
+            let mut p = RlBuffer::new(0.1, 0.8, 0.3, seed, true);
+            (0..40)
+                .map(|e| p.select_mode(RouterId(0), &obs(0.1 + 0.002 * e as f64, e, 0.0)))
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(
+            run(7),
+            run(1234),
+            "different seeds should explore differently"
+        );
+    }
+
+    #[test]
+    fn learns_to_slow_down_an_idle_router() {
+        // Greedy (ε = 0) controller on a permanently idle router: the
+        // only reward signal is the power proxy, so Q-learning must
+        // settle on the slowest mode.
+        let mut p = RlBuffer::new(0.3, 0.5, 0.0, 1, true);
+        let idle = obs(0.0, 0, 0.0);
+        let mut last = Mode::M7;
+        for _ in 0..200 {
+            last = p.select_mode(RouterId(0), &idle);
+        }
+        assert_eq!(last, Mode::M3, "idle router should settle at M3");
+        assert!(p.total_updates() > 100);
+    }
+
+    #[test]
+    fn congestion_pushes_the_mode_up() {
+        // Same state, but staying slow hurts: heavy stalls while in low
+        // modes flip the preference toward fast modes.
+        let mut p = RlBuffer::new(0.4, 0.3, 0.0, 1, true);
+        let mut stall = 0.0;
+        let mut settled = Mode::M7;
+        for _ in 0..300 {
+            settled = p.select_mode(RouterId(0), &obs(0.3, 400, stall));
+            // Feedback: slow modes see stalls next epoch, fast run clean.
+            stall = if settled < Mode::M6 { 0.8 } else { 0.0 };
+        }
+        assert!(
+            settled >= Mode::M6,
+            "congested router settled at {settled:?}"
+        );
+    }
+
+    #[test]
+    fn routers_grow_on_demand() {
+        let mut p = RlBuffer::with_defaults(false);
+        p.select_mode(RouterId(63), &obs(0.1, 5, 0.0));
+        p.select_mode(RouterId(2), &obs(0.1, 5, 0.0));
+        assert_eq!(p.rngs.len(), 64);
+        assert!(!p.gating_enabled());
+        assert_eq!(p.ml_features(), Some(2));
+        assert_eq!(p.name(), "rl-buffer");
+    }
+}

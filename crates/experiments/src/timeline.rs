@@ -1,17 +1,22 @@
 //! `dozz-repro timeline` — per-router mode/energy time-series for one
-//! (benchmark, model) cell, captured through the telemetry subsystem.
+//! (benchmark, policy) cell, captured through the telemetry subsystem.
 //!
-//! Runs the selected model over the selected benchmark trace with an
+//! Runs the selected policy over the selected benchmark trace with an
 //! in-memory [`TimelineSink`], then writes two CSVs under `--out`:
 //!
-//! * `timeline_<bench>_<model>.csv` — one row per router per epoch:
+//! * `timeline_<bench>_<policy>.csv` — one row per router per epoch:
 //!   mode, IBU, off-fraction, flit counts, and the energy spent in that
 //!   epoch split by component;
-//! * `timeline_<bench>_<model>_transitions.csv` — one row per power
+//! * `timeline_<bench>_<policy>_transitions.csv` — one row per power
 //!   transition (gate-off, wakeup start/done, mode switch) with its
 //!   tick timestamp.
+//!
+//! `--model` accepts any registered policy spec — paper slugs and
+//! aliases (`dozznoc`, `power-gated`, …) as well as parameterized
+//! plug-ins like `rl-buffer?epsilon=0.2&seed=9`. Unknown names list the
+//! full registry instead of panicking.
 
-use dozznoc_core::{run_model_with_telemetry, ModelKind, ModelSuite};
+use dozznoc_core::{run_policy_with_telemetry, ModelSuite, PolicyRegistry, PolicySpec};
 use dozznoc_ml::{FeatureSet, TrainedModel};
 use dozznoc_noc::TimelineSink;
 use dozznoc_topology::Topology;
@@ -31,6 +36,31 @@ fn parse_bench(name: &str) -> Benchmark {
         })
 }
 
+/// Parse `--model` against the policy registry, exiting with the full
+/// name/alias listing on failure (the registry's `PolicyError` renders
+/// it).
+fn parse_policy(name: &str) -> PolicySpec {
+    match PolicyRegistry::global().parse(name) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A spec slug flattened for filenames: `rl-buffer?epsilon=0.2` has
+/// `?`/`=`/`&`, which shells and filesystems mangle.
+fn file_slug(spec: &PolicySpec) -> String {
+    spec.slug()
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' | '.' => c,
+            _ => '-',
+        })
+        .collect()
+}
+
 /// A suite of do-nothing models for the non-ML policies, so `timeline
 /// --model baseline` does not pay for training it will never consult.
 fn untrained_suite() -> ModelSuite {
@@ -42,21 +72,22 @@ fn untrained_suite() -> ModelSuite {
     }
 }
 
-/// Capture and write the time-series for one (benchmark, model) cell.
+/// Capture and write the time-series for one (benchmark, policy) cell.
 pub fn run(ctx: &Ctx) {
     let bench = parse_bench(ctx.bench.as_deref().unwrap_or("blackscholes"));
-    let model_name = ctx.model.as_deref().unwrap_or("dozznoc");
-    let kind = ModelKind::parse(model_name).unwrap_or_else(|| {
-        panic!("unknown model `{model_name}` (try baseline, pg, lead, dozznoc, turbo)")
-    });
+    let registry = PolicyRegistry::global();
+    let spec = parse_policy(ctx.model.as_deref().unwrap_or("dozznoc"));
+    let factory = registry
+        .resolve(spec.name())
+        .expect("parsed specs resolve by construction");
 
     banner(&format!(
         "Timeline — {} on {} (8×8 mesh, epoch 500)",
-        kind.label(),
+        factory.label(),
         bench.name()
     ));
     let topo = Topology::mesh8x8();
-    let suite = if kind.uses_ml() {
+    let suite = if factory.uses_ml() {
         suite_for(ctx, topo, 500, FeatureSet::Reduced5)
     } else {
         untrained_suite()
@@ -68,7 +99,15 @@ pub fn run(ctx: &Ctx) {
 
     let mut sink = TimelineSink::new();
     let cfg = dozznoc_noc::NocConfig::paper(topo);
-    let report = run_model_with_telemetry(cfg, &trace, kind, &suite, &mut sink);
+    let report = match run_policy_with_telemetry(cfg, &trace, &spec, registry, &suite, &mut sink) {
+        Ok(report) => report,
+        Err(e) => {
+            // Bad parameter values surface here (the name was already
+            // validated by parse_policy).
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
 
     let epoch_rows: Vec<String> = sink
         .epochs
@@ -94,7 +133,7 @@ pub fn run(ctx: &Ctx) {
         })
         .collect();
     ctx.write_csv(
-        &format!("timeline_{}_{}.csv", bench.name(), kind.slug()),
+        &format!("timeline_{}_{}.csv", bench.name(), file_slug(&spec)),
         "router,epoch,cycles,mode,ibu,off_fraction,flits_injected,flits_ejected,hops,static_j,dynamic_j,ml_j,transition_j,total_j",
         &epoch_rows,
     );
@@ -105,7 +144,11 @@ pub fn run(ctx: &Ctx) {
         .map(|e| format!("{},{},{}", e.at.ticks(), e.router.idx(), e.kind.tag()))
         .collect();
     ctx.write_csv(
-        &format!("timeline_{}_{}_transitions.csv", bench.name(), kind.slug()),
+        &format!(
+            "timeline_{}_{}_transitions.csv",
+            bench.name(),
+            file_slug(&spec)
+        ),
         "tick,router,event",
         &transition_rows,
     );

@@ -1,0 +1,176 @@
+//! `dozz-repro tournament` — every registered policy, head to head.
+//!
+//! Runs the full registry (the five paper models plus every plug-in
+//! policy, seven builtins today) over the five held-out test benchmarks
+//! on the work-stealing engine with the content-addressed run cache,
+//! then ranks policies by mean energy-delay product against the
+//! baseline. Per-benchmark EDP wins break the narrative down further:
+//! a policy can lose the average yet own a workload.
+//!
+//! Output: a ranked stdout table and `tournament.csv` under `--out`.
+
+use dozznoc_core::experiment::edp;
+use dozznoc_core::{Campaign, PolicyRegistry, PolicyResult};
+use dozznoc_ml::FeatureSet;
+use dozznoc_topology::Topology;
+use dozznoc_traffic::TEST_BENCHMARKS;
+
+use crate::ctx::{banner, Ctx};
+use crate::engine;
+use crate::suite::suite_for;
+
+/// One policy's aggregate standing across the benchmark matrix.
+struct Standing {
+    name: String,
+    label: String,
+    energy_ratio: f64,
+    latency_ratio: f64,
+    throughput_ratio: f64,
+    edp_ratio: f64,
+    wins: usize,
+}
+
+/// Run the all-policies tournament and write the ranked report.
+pub fn run(ctx: &Ctx) {
+    let registry = PolicyRegistry::global();
+    let specs = registry.default_specs();
+    banner(&format!(
+        "Tournament — {} policies × {} benchmarks (8×8 mesh, epoch 500)",
+        specs.len(),
+        TEST_BENCHMARKS.len()
+    ));
+
+    let topo = Topology::mesh8x8();
+    let suite = suite_for(ctx, topo, 500, FeatureSet::Reduced5);
+    let campaign = Campaign::new(topo)
+        .with_duration_ns(ctx.duration_ns())
+        .with_seed(ctx.seed);
+
+    let cache = ctx.run_cache();
+    let cells = campaign
+        .run_policy_cells(
+            &TEST_BENCHMARKS,
+            &specs,
+            &suite,
+            registry,
+            &ctx.engine_opts(cache.as_ref()),
+        )
+        .expect("registry default specs always build");
+    let hits = cells.iter().filter(|c| c.cache_hit).count();
+    engine::log_cache(cache.as_ref(), hits, cells.len());
+    let results: Vec<PolicyResult> = cells.into_iter().map(|c| c.result).collect();
+
+    let standings = rank(registry, &specs, &results);
+    print_table(&standings);
+    ctx.write_csv(
+        "tournament.csv",
+        "rank,policy,label,energy_vs_baseline,latency_vs_baseline,\
+         throughput_vs_baseline,edp_vs_baseline,benchmark_wins",
+        &standings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+                    i + 1,
+                    s.name,
+                    s.label,
+                    s.energy_ratio,
+                    s.latency_ratio,
+                    s.throughput_ratio,
+                    s.edp_ratio,
+                    s.wins
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Aggregate per-policy ratios vs. the baseline rows and sort by mean
+/// EDP (best first). Ties break on the registry's registration order,
+/// which `specs` preserves, so the ranking is deterministic.
+fn rank(
+    registry: &PolicyRegistry,
+    specs: &[dozznoc_core::PolicySpec],
+    results: &[PolicyResult],
+) -> Vec<Standing> {
+    let baselines: Vec<&PolicyResult> = results
+        .iter()
+        .filter(|r| r.policy.name() == "baseline")
+        .collect();
+    let base_for = |bench: &str| baselines.iter().find(|b| b.benchmark == bench);
+
+    // Per-benchmark winner: the policy with the lowest EDP on it.
+    let mut wins: Vec<usize> = vec![0; specs.len()];
+    for base in &baselines {
+        let best = results
+            .iter()
+            .filter(|r| r.benchmark == base.benchmark)
+            .min_by(|a, b| edp(&a.report).total_cmp(&edp(&b.report)));
+        if let Some(best) = best {
+            if let Some(i) = specs.iter().position(|s| s == &best.policy) {
+                wins[i] += 1;
+            }
+        }
+    }
+
+    let mut standings: Vec<Standing> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut n = 0.0;
+            let (mut en, mut lat, mut tput, mut ed) = (0.0, 0.0, 0.0, 0.0);
+            for r in results.iter().filter(|r| &r.policy == spec) {
+                let Some(base) = base_for(&r.benchmark) else {
+                    continue;
+                };
+                let total = |rep: &dozznoc_noc::RunReport| {
+                    rep.energy.static_j + rep.energy.dynamic_with_ml_j()
+                };
+                en += total(&r.report) / total(&base.report).max(f64::MIN_POSITIVE);
+                lat += r.report.latency_vs(&base.report);
+                tput += r.report.throughput_vs(&base.report);
+                ed += edp(&r.report) / edp(&base.report).max(f64::MIN_POSITIVE);
+                n += 1.0;
+            }
+            let n = if n > 0.0 { n } else { 1.0 };
+            let label = match registry.resolve(spec.name()) {
+                Ok(f) => f.label().to_string(),
+                Err(_) => spec.name().to_string(), // unreachable: spec came from the registry
+            };
+            Standing {
+                name: spec.slug(),
+                label,
+                energy_ratio: en / n,
+                latency_ratio: lat / n,
+                throughput_ratio: tput / n,
+                edp_ratio: ed / n,
+                wins: wins[i],
+            }
+        })
+        .collect();
+    standings.sort_by(|a, b| a.edp_ratio.total_cmp(&b.edp_ratio));
+    standings
+}
+
+/// Ranked stdout table, ratios relative to baseline (lower is better
+/// except throughput).
+fn print_table(standings: &[Standing]) {
+    println!(
+        "{:<5} {:<14} {:<24} {:>8} {:>8} {:>8} {:>8} {:>5}",
+        "rank", "policy", "label", "energy", "latency", "tput", "EDP", "wins"
+    );
+    for (i, s) in standings.iter().enumerate() {
+        println!(
+            "{:<5} {:<14} {:<24} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>5}",
+            i + 1,
+            s.name,
+            s.label,
+            s.energy_ratio,
+            s.latency_ratio,
+            s.throughput_ratio,
+            s.edp_ratio,
+            s.wins
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Tabular Q-learning substrate (extension, in the spirit of RACE).
+//!
+//! The paper's controller is supervised: ridge regression predicts the
+//! next epoch's buffer utilization and a threshold table maps it to a
+//! mode. The reinforcement-learning alternative skips the intermediate
+//! prediction entirely and learns the mode decision *directly* from a
+//! scalar reward — here, a per-epoch energy/performance trade-off — with
+//! the classic tabular update
+//!
+//! ```text
+//! Q(s,a) ← Q(s,a) + α·(r + γ·max_a' Q(s',a') − Q(s,a))
+//! ```
+//!
+//! Everything in this module is deterministic given its seed: the
+//! exploration source is a self-contained xorshift generator, argmax
+//! ties break toward the lowest action index, and no ambient entropy is
+//! consulted anywhere. That determinism is load-bearing — the simulator's
+//! golden tests replay RL runs bit-for-bit (see `tests/determinism.rs`
+//! in the workspace root).
+
+use serde::{Deserialize, Serialize};
+
+/// A tiny deterministic xorshift64 PRNG for epsilon-greedy exploration.
+///
+/// Not cryptographic and not meant to be: it exists so stochastic
+/// policies have a seedable, dependency-free randomness source whose
+/// sequence is identical on every platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A generator seeded by `seed`. Xorshift has a zero fixed point, so
+    /// a zero seed is remapped to an arbitrary odd constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Next value uniform in `[0, 1)`, from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next value uniform in `[0, n)`. Modulo bias is irrelevant at the
+    /// action-count scale (n ≤ a handful).
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// A dense `states × actions` Q-value table with the standard
+/// Q-learning update rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    q: Vec<f64>,
+    states: usize,
+    actions: usize,
+    alpha: f64,
+    gamma: f64,
+    updates: u64,
+}
+
+impl QTable {
+    /// A zero-initialized table. `alpha` is the learning rate in
+    /// `(0, 1]`, `gamma` the discount factor in `[0, 1)`.
+    pub fn new(states: usize, actions: usize, alpha: f64, gamma: f64) -> Self {
+        assert!(states >= 1 && actions >= 1);
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        QTable {
+            q: vec![0.0; states * actions],
+            states,
+            actions,
+            alpha,
+            gamma,
+            updates: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// Updates absorbed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current value of `(state, action)`.
+    pub fn q(&self, state: usize, action: usize) -> f64 {
+        self.q[self.slot(state, action)]
+    }
+
+    /// The greedy action for `state`; ties break toward the lowest
+    /// action index, keeping the policy deterministic.
+    pub fn best_action(&self, state: usize) -> usize {
+        let row = &self.q[state * self.actions..(state + 1) * self.actions];
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// The greedy value `max_a Q(state, a)`.
+    pub fn max_q(&self, state: usize) -> f64 {
+        self.q(state, self.best_action(state))
+    }
+
+    /// One Q-learning backup for the transition
+    /// `(state, action) → reward, next_state`.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, next_state: usize) {
+        let target = reward + self.gamma * self.max_q(next_state);
+        let slot = self.slot(state, action);
+        self.q[slot] += self.alpha * (target - self.q[slot]);
+        self.updates += 1;
+    }
+
+    /// Epsilon-greedy action selection: explore uniformly with
+    /// probability `epsilon`, exploit the greedy action otherwise. Draws
+    /// exactly one uniform variate plus one more when exploring, so the
+    /// consumed randomness is a deterministic function of the decision
+    /// sequence.
+    pub fn select(&self, state: usize, epsilon: f64, rng: &mut XorShift64) -> usize {
+        if epsilon > 0.0 && rng.next_f64() < epsilon {
+            rng.next_below(self.actions)
+        } else {
+            self.best_action(state)
+        }
+    }
+
+    fn slot(&self, state: usize, action: usize) -> usize {
+        assert!(state < self.states, "state {state} out of {}", self.states);
+        assert!(
+            action < self.actions,
+            "action {action} out of {}",
+            self.actions
+        );
+        state * self.actions + action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_seed_sensitive() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = XorShift64::new(8);
+        assert_ne!(seq_a[0], c.next_u64());
+        // Zero seed does not collapse to the fixed point.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn xorshift_floats_are_unit_interval() {
+        let mut rng = XorShift64::new(42);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+            let k = rng.next_below(5);
+            assert!(k < 5);
+        }
+    }
+
+    #[test]
+    fn greedy_ties_break_low_and_track_updates() {
+        let mut t = QTable::new(2, 3, 0.5, 0.0);
+        assert_eq!(t.best_action(0), 0, "all-zero row picks action 0");
+        t.update(0, 2, 1.0, 1);
+        assert_eq!(t.best_action(0), 2);
+        assert_eq!(t.updates(), 1);
+        assert!((t.q(0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_learning_solves_a_two_state_chain() {
+        // State 0: action 1 pays 1.0 and stays, action 0 pays 0.0.
+        // The greedy policy must learn to pick action 1.
+        let mut t = QTable::new(1, 2, 0.2, 0.5);
+        for _ in 0..200 {
+            t.update(0, 0, 0.0, 0);
+            t.update(0, 1, 1.0, 0);
+        }
+        assert_eq!(t.best_action(0), 1);
+        // Fixed point of Q(0,1) is r / (1 - γ·...) with the greedy
+        // successor value; just check ordering and boundedness.
+        assert!(t.q(0, 1) > t.q(0, 0));
+        assert!(t.q(0, 1) <= 1.0 / (1.0 - 0.5) + 1e-9);
+    }
+
+    #[test]
+    fn epsilon_zero_is_pure_greedy() {
+        let mut rng = XorShift64::new(3);
+        let mut t = QTable::new(2, 4, 0.5, 0.0);
+        t.update(1, 3, 1.0, 0);
+        for _ in 0..50 {
+            assert_eq!(t.select(1, 0.0, &mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_every_action() {
+        let mut rng = XorShift64::new(9);
+        let t = QTable::new(1, 5, 0.5, 0.0);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[t.select(0, 1.0, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_is_rejected() {
+        QTable::new(1, 1, 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn unit_gamma_is_rejected() {
+        QTable::new(1, 1, 0.5, 1.0);
+    }
+}

@@ -69,11 +69,14 @@ impl AlwaysMode {
         }
     }
 
-    /// Enable power gating.
+    /// Enable power gating. Idempotent: re-enabling is a no-op, so the
+    /// name tag is appended exactly once.
     #[must_use]
     pub fn with_gating(mut self) -> Self {
-        self.gating = true;
-        self.name.push_str("+pg");
+        if !self.gating {
+            self.gating = true;
+            self.name.push_str("+pg");
+        }
         self
     }
 }
@@ -113,6 +116,14 @@ mod tests {
     #[test]
     fn gating_variant() {
         let p = AlwaysMode::new(Mode::M7).with_gating();
+        assert!(p.gating_enabled());
+        assert_eq!(p.name(), "always-7+pg");
+    }
+
+    #[test]
+    fn with_gating_is_idempotent() {
+        // Regression: enabling twice used to name it "always-7+pg+pg".
+        let p = AlwaysMode::new(Mode::M7).with_gating().with_gating();
         assert!(p.gating_enabled());
         assert_eq!(p.name(), "always-7+pg");
     }

@@ -5,8 +5,11 @@
 //! is an edge to every same-crate function of that name — a deliberate
 //! over-approximation) and walks it from the hot-path roots:
 //!
-//! - `Network::run` in `crates/noc` (the event loop), and
-//! - `run_model` in `crates/core` (the per-benchmark driver).
+//! - `Network::run` in `crates/noc` (the event loop),
+//! - `run_model` in `crates/core` (the per-benchmark driver), and
+//! - `PolicyRegistry::build` in `crates/core` (every registered policy
+//!   factory — builders run inside campaign workers, so a panicking
+//!   factory aborts a whole shard exactly like a panicking simulator).
 //!
 //! In every reachable function body, `panic!` and `.unwrap()` are denied
 //! (a panic mid-run aborts a whole campaign shard), while `.expect(..)`
@@ -26,7 +29,11 @@ pub struct PanicReachability;
 
 /// (crate, root) pairs the graph is walked from. A root is matched by
 /// its qualified `Type::name` or bare name.
-const ROOTS: [(&str, &str); 2] = [("noc", "Network::run"), ("core", "run_model")];
+const ROOTS: [(&str, &str); 3] = [
+    ("noc", "Network::run"),
+    ("core", "run_model"),
+    ("core", "PolicyRegistry::build"),
+];
 
 /// Identifier keywords that can precede a `[` without it being indexing.
 const NON_INDEX_PREV: [&str; 8] = [

@@ -35,7 +35,7 @@
 //! | [`ml`] | ridge regression, feature sets, datasets, metrics |
 //! | [`traffic`] | 14 synthetic PARSEC/SPLASH-2-like workloads, patterns |
 //! | [`noc`] | the cycle-accurate multi-clock-domain simulator |
-//! | [`core`] | the DozzNoC policies, training pipeline, experiment API |
+//! | [`core`] | the DozzNoC policies, plug-in policy registry, training pipeline, experiment API |
 
 pub use dozznoc_core as core;
 pub use dozznoc_ml as ml;
@@ -48,9 +48,11 @@ pub use dozznoc_types as types;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use dozznoc_core::{
-        run_model, run_model_sanitized, run_model_with_telemetry, Adaptive, Baseline, CacheStats,
-        Campaign, CellRun, Collector, EngineOptions, Fingerprint, ModelKind, ModelSuite, Oracle,
-        PowerGated, Proactive, Reactive, RunCache, Trainer,
+        run_model, run_model_sanitized, run_model_with_telemetry, run_policy_with_telemetry,
+        Adaptive, Baseline, CacheStats, Campaign, CellRun, Collector, EngineOptions, Fingerprint,
+        ModelKind, ModelSuite, Oracle, PolicyCellRun, PolicyContext, PolicyError, PolicyFactory,
+        PolicyRegistry, PolicyResult, PolicySpec, PowerGated, Proactive, Reactive, RlBuffer,
+        RunCache, Trainer,
     };
     pub use dozznoc_ml::{
         mode_of_utilization, mode_selection_accuracy, Dataset, FeatureSet, RidgeRegression,
