@@ -68,6 +68,7 @@ fn campaign_matrix(c: &mut Criterion) {
                         jobs: Some(jobs),
                         cache: None,
                         sanitize: false,
+                        measure: false,
                     },
                 );
                 black_box(cells.len())
@@ -85,6 +86,7 @@ fn campaign_matrix(c: &mut Criterion) {
             jobs: Some(many),
             cache: Some(&scratch.cache),
             sanitize: false,
+            measure: false,
         },
     );
     assert!(warmed.iter().all(|cell| !cell.cache_hit));
@@ -99,6 +101,7 @@ fn campaign_matrix(c: &mut Criterion) {
                         jobs: Some(jobs),
                         cache: Some(&scratch.cache),
                         sanitize: false,
+                        measure: false,
                     },
                 );
                 assert!(cells.iter().all(|cell| cell.cache_hit));

@@ -6,6 +6,8 @@
 //! iterations, while the full-length reproduction lives in
 //! `dozz-repro`.
 
+pub mod regimes;
+
 use dozznoc_core::{ModelSuite, Trainer};
 use dozznoc_ml::FeatureSet;
 use dozznoc_noc::NocConfig;

@@ -23,6 +23,7 @@ use dozznoc_traffic::{Benchmark, Trace, TraceGenerator};
 use dozznoc_types::ConfigError;
 
 use crate::cache::{self, RunCache};
+use crate::measure::{CellMeasure, CellStopwatch};
 use crate::model::{ModelKind, ALL_MODELS};
 use crate::registry::{PolicyContext, PolicyError, PolicyRegistry, PolicySpec};
 use crate::schedule;
@@ -149,6 +150,9 @@ pub struct PolicyCellRun {
     /// The sanitizer's findings, when the cell was simulated under
     /// [`EngineOptions::sanitize`].
     pub sanitizer: Option<SanitizerReport>,
+    /// Wall/CPU/RSS readings for the cell, when the cell ran under
+    /// [`EngineOptions::measure`].
+    pub measure: Option<CellMeasure>,
 }
 
 /// A full evaluation campaign: all five models over a set of benchmarks,
@@ -316,6 +320,7 @@ impl Campaign {
                 },
                 cache_hit: run.cache_hit,
                 sanitizer: run.sanitizer,
+                measure: run.measure,
             })
             .collect()
     }
@@ -341,35 +346,91 @@ impl Campaign {
         registry: &PolicyRegistry,
         opts: &EngineOptions<'_>,
     ) -> Result<Vec<PolicyCellRun>, PolicyError> {
+        let labels: Vec<String> = benches.iter().map(|b| b.name().to_string()).collect();
+        self.run_spec_cells(
+            &labels,
+            &|bi| self.trace(benches[bi]),
+            specs,
+            suite,
+            registry,
+            opts,
+        )
+    }
+
+    /// Run registered policies over *pre-built traces* instead of the
+    /// benchmark generator — the entry point the `cargo xtask bench`
+    /// regime harness drives with synthetic load-regime traces. Every
+    /// engine property of [`Campaign::run_policy_cells`] holds: cells
+    /// are (trace, spec) pairs in trace-major order, drained by
+    /// `opts.jobs` workers, cached by trace digest × spec slug.
+    ///
+    /// The campaign's own trace knobs (duration, seed, compression) are
+    /// ignored here — the caller owns trace construction — but its
+    /// topology and epoch settings still shape the simulator config, so
+    /// traces must target the campaign's topology.
+    pub fn run_trace_cells(
+        &self,
+        traces: &[Trace],
+        specs: &[PolicySpec],
+        suite: &ModelSuite,
+        registry: &PolicyRegistry,
+        opts: &EngineOptions<'_>,
+    ) -> Result<Vec<PolicyCellRun>, PolicyError> {
+        let labels: Vec<String> = traces.iter().map(|t| t.name.clone()).collect();
+        self.run_spec_cells(
+            &labels,
+            &|ti| traces[ti].clone(),
+            specs,
+            suite,
+            registry,
+            opts,
+        )
+    }
+
+    /// The one spec-matrix engine behind [`Campaign::run_policy_cells`]
+    /// and [`Campaign::run_trace_cells`]: one trace source per `labels`
+    /// entry (materialized lazily, at most once, by `trace_of`) ×
+    /// `specs`, scheduled, cached and measured identically for both
+    /// entries. `labels[si]` becomes the result's `benchmark` field.
+    fn run_spec_cells(
+        &self,
+        labels: &[String],
+        trace_of: &(dyn Fn(usize) -> Trace + Sync),
+        specs: &[PolicySpec],
+        suite: &ModelSuite,
+        registry: &PolicyRegistry,
+        opts: &EngineOptions<'_>,
+    ) -> Result<Vec<PolicyCellRun>, PolicyError> {
         let ctx = PolicyContext { suite };
         for spec in specs {
             drop(registry.build(spec, &ctx)?);
         }
         let cfg = self.config();
-        let mut cells = Vec::with_capacity(benches.len() * specs.len());
-        for (bi, &bench) in benches.iter().enumerate() {
+        let mut cells = Vec::with_capacity(labels.len() * specs.len());
+        for si in 0..labels.len() {
             for spec in specs {
-                cells.push((bi, bench, spec));
+                cells.push((si, spec));
             }
         }
         let base = opts.cache.map(|_| cache::campaign_base(&cfg, suite));
-        // One lazily generated (trace, digest) per benchmark, shared by
+        // One lazily generated (trace, digest) per source, shared by
         // all of its cells.
         let traces: Vec<OnceLock<(Arc<Trace>, u64)>> =
-            benches.iter().map(|_| OnceLock::new()).collect();
+            labels.iter().map(|_| OnceLock::new()).collect();
 
         let jobs = opts.jobs.unwrap_or_else(schedule::default_jobs);
         Ok(schedule::run_indexed(jobs, cells.len(), |i| {
-            let (bi, bench, spec) = cells[i];
+            let stopwatch = opts.measure.then(CellStopwatch::start);
+            let (si, spec) = cells[i];
             let slug = spec.slug();
-            let (trace, digest) = traces[bi].get_or_init(|| {
-                let trace = self.trace(bench);
+            let (trace, digest) = traces[si].get_or_init(|| {
+                let trace = trace_of(si);
                 let digest = trace.digest();
                 (Arc::new(trace), digest)
             });
             let trace = Arc::clone(trace);
             let result = |report| PolicyResult {
-                benchmark: bench.name().to_string(),
+                benchmark: labels[si].clone(),
                 policy: spec.clone(),
                 report,
             };
@@ -381,6 +442,7 @@ impl Campaign {
                         result: result(report),
                         cache_hit: true,
                         sanitizer: None,
+                        measure: stopwatch.map(CellStopwatch::stop),
                     };
                 }
             }
@@ -396,6 +458,7 @@ impl Campaign {
                 result: result(report),
                 cache_hit: false,
                 sanitizer,
+                measure: stopwatch.map(CellStopwatch::stop),
             }
         }))
     }
@@ -449,6 +512,10 @@ pub struct EngineOptions<'a> {
     /// Run simulated cells under a runtime invariant sanitizer and
     /// attach its per-cell report.
     pub sanitize: bool,
+    /// Measure each cell's wall-clock, worker-thread CPU time and the
+    /// process peak RSS (see [`crate::measure`]) and attach the
+    /// readings. Observational only: results stay bit-identical.
+    pub measure: bool,
 }
 
 /// One executed (or replayed) campaign cell.
@@ -463,6 +530,9 @@ pub struct CellRun {
     /// The sanitizer's findings, when the cell was simulated under
     /// [`EngineOptions::sanitize`].
     pub sanitizer: Option<SanitizerReport>,
+    /// Wall/CPU/RSS readings for the cell, when the cell ran under
+    /// [`EngineOptions::measure`].
+    pub measure: Option<CellMeasure>,
 }
 
 /// Aggregate a campaign into per-model means relative to the baseline

@@ -36,6 +36,7 @@ pub mod cache;
 pub mod collect;
 pub mod experiment;
 pub mod features;
+pub mod measure;
 pub mod model;
 pub mod policy;
 pub mod registry;
@@ -49,6 +50,7 @@ pub use experiment::{
     CampaignResult, CellRun, EngineOptions, PolicyCellRun, PolicyResult,
 };
 pub use features::{extract_features, feature_value};
+pub use measure::CellMeasure;
 pub use model::ModelKind;
 pub use policy::{Adaptive, Baseline, Oracle, PowerGated, Proactive, Reactive, RlBuffer};
 pub use registry::{PolicyContext, PolicyError, PolicyFactory, PolicyRegistry, PolicySpec};

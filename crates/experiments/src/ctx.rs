@@ -105,6 +105,7 @@ impl Ctx {
             jobs: self.jobs,
             cache,
             sanitize: false,
+            measure: false,
         }
     }
 

@@ -26,6 +26,7 @@
 //!   timeline          per-router mode/energy time-series via telemetry
 //!   tournament        every registered policy ranked head-to-head
 //!   check             run the evaluation matrix under the invariant sanitizer
+//!   bench-cell        one measured cell of the `cargo xtask bench` regime matrix
 //!   transition-cost   rail-transition energy vs the savings it erodes
 //!   routing           XY vs YX dimension-order sensitivity
 //!   all               everything above, sharing one training pass
@@ -40,6 +41,7 @@
 //! `--out` (default `results/`).
 
 mod ablations;
+mod bench_cell;
 mod check;
 mod ctx;
 mod engine;
@@ -63,6 +65,12 @@ use ctx::Ctx;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("help");
+    if command == "bench-cell" {
+        // Parses its own (disjoint) flag surface; bypasses Ctx, which
+        // treats unknown flags as fatal.
+        bench_cell::run(&args[1..]);
+        return;
+    }
     let ctx = Ctx::from_args(&args[1.min(args.len())..]);
 
     let started = std::time::Instant::now();
@@ -133,6 +141,7 @@ usage: dozz-repro <command> [--quick] [--out DIR] [--seed N] [--jobs N] [--no-ca
        dozz-repro timeline [--bench NAME] [--model NAME] [flags above]
        dozz-repro tournament [flags above]
        dozz-repro check [--bench NAME] [flags above]
+       dozz-repro bench-cell --regime R --topo T --jobs N [--duration-ns D] [--seed S] [--traces K]
 
 --model accepts any registered policy: paper slugs and aliases plus
 plug-in specs like `rl-buffer?epsilon=0.2&seed=9`; `tournament` ranks

@@ -8,6 +8,11 @@
 //! a policy can lose the average yet own a workload.
 //!
 //! Output: a ranked stdout table and `tournament.csv` under `--out`.
+//! Ratio columns are relative to the baseline policy: energy, latency
+//! and EDP are lower-is-better (↓), throughput is higher-is-better (↑).
+//! A policy with no comparable rows (its runs all failed, or no
+//! baseline row exists for its benchmarks) reports `NaN` ratios —
+//! rendered `n/a` in the table — and ranks last instead of first.
 
 use dozznoc_core::experiment::edp;
 use dozznoc_core::{Campaign, PolicyRegistry, PolicyResult};
@@ -62,6 +67,9 @@ pub fn run(ctx: &Ctx) {
 
     let standings = rank(registry, &specs, &results);
     print_table(&standings);
+    // Column semantics: `*_vs_baseline` ratios where energy, latency
+    // and EDP are lower-is-better and throughput is higher-is-better;
+    // a policy with no comparable results writes `n/a`.
     ctx.write_csv(
         "tournament.csv",
         "rank,policy,label,energy_vs_baseline,latency_vs_baseline,\
@@ -71,14 +79,14 @@ pub fn run(ctx: &Ctx) {
             .enumerate()
             .map(|(i, s)| {
                 format!(
-                    "{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+                    "{},{},{},{},{},{},{},{}",
                     i + 1,
                     s.name,
                     s.label,
-                    s.energy_ratio,
-                    s.latency_ratio,
-                    s.throughput_ratio,
-                    s.edp_ratio,
+                    fmt_ratio(s.energy_ratio, 4),
+                    fmt_ratio(s.latency_ratio, 4),
+                    fmt_ratio(s.throughput_ratio, 4),
+                    fmt_ratio(s.edp_ratio, 4),
                     s.wins
                 )
             })
@@ -89,6 +97,10 @@ pub fn run(ctx: &Ctx) {
 /// Aggregate per-policy ratios vs. the baseline rows and sort by mean
 /// EDP (best first). Ties break on the registry's registration order,
 /// which `specs` preserves, so the ranking is deterministic.
+///
+/// A spec with zero comparable results gets `NaN` ratios and sorts
+/// last: averaging zero rows used to yield 0.0 ratios, which crowned
+/// any crashed-out policy tournament champion.
 fn rank(
     registry: &PolicyRegistry,
     specs: &[dozznoc_core::PolicySpec],
@@ -133,7 +145,9 @@ fn rank(
                 ed += edp(&r.report) / edp(&base.report).max(f64::MIN_POSITIVE);
                 n += 1.0;
             }
-            let n = if n > 0.0 { n } else { 1.0 };
+            // No comparable rows → NaN, not a divide-by-one 0.0 that
+            // would sort ahead of every real ratio.
+            let mean = |sum: f64| if n > 0.0 { sum / n } else { f64::NAN };
             let label = match registry.resolve(spec.name()) {
                 Ok(f) => f.label().to_string(),
                 Err(_) => spec.name().to_string(), // unreachable: spec came from the registry
@@ -141,36 +155,167 @@ fn rank(
             Standing {
                 name: spec.slug(),
                 label,
-                energy_ratio: en / n,
-                latency_ratio: lat / n,
-                throughput_ratio: tput / n,
-                edp_ratio: ed / n,
+                energy_ratio: mean(en),
+                latency_ratio: mean(lat),
+                throughput_ratio: mean(tput),
+                edp_ratio: mean(ed),
                 wins: wins[i],
             }
         })
         .collect();
-    standings.sort_by(|a, b| a.edp_ratio.total_cmp(&b.edp_ratio));
+    // NaN standings (no comparable results) explicitly rank last.
+    // `total_cmp` alone would sort a *negative* NaN first.
+    standings.sort_by(|a, b| {
+        a.edp_ratio
+            .is_nan()
+            .cmp(&b.edp_ratio.is_nan())
+            .then(a.edp_ratio.total_cmp(&b.edp_ratio))
+    });
     standings
 }
 
-/// Ranked stdout table, ratios relative to baseline (lower is better
-/// except throughput).
+/// Render one ratio cell: `n/a` when the policy had no comparable
+/// results, else a fixed-point ratio.
+fn fmt_ratio(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Ranked stdout table. All ratio columns are relative to baseline;
+/// the (↓)/(↑) markers say which direction wins: energy, latency and
+/// EDP ratios are lower-is-better, the throughput ratio is
+/// higher-is-better.
 fn print_table(standings: &[Standing]) {
+    println!("ratios vs baseline — ↓ lower is better, ↑ higher is better");
     println!(
-        "{:<5} {:<14} {:<24} {:>8} {:>8} {:>8} {:>8} {:>5}",
-        "rank", "policy", "label", "energy", "latency", "tput", "EDP", "wins"
+        "{:<5} {:<14} {:<24} {:>9} {:>10} {:>8} {:>8} {:>5}",
+        "rank", "policy", "label", "energy(↓)", "latency(↓)", "tput(↑)", "EDP(↓)", "wins"
     );
     for (i, s) in standings.iter().enumerate() {
         println!(
-            "{:<5} {:<14} {:<24} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>5}",
+            "{:<5} {:<14} {:<24} {:>9} {:>10} {:>8} {:>8} {:>5}",
             i + 1,
             s.name,
             s.label,
-            s.energy_ratio,
-            s.latency_ratio,
-            s.throughput_ratio,
-            s.edp_ratio,
+            fmt_ratio(s.energy_ratio, 3),
+            fmt_ratio(s.latency_ratio, 3),
+            fmt_ratio(s.throughput_ratio, 3),
+            fmt_ratio(s.edp_ratio, 3),
             s.wins
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dozznoc_core::PolicySpec;
+    use dozznoc_noc::{RunReport, RunStats};
+    use dozznoc_power::EnergyReport;
+    use dozznoc_types::{SimTime, TICKS_PER_NS};
+
+    /// Synthesize one result with a controlled EDP:
+    /// `edp = energy_j × latency_ns` (one delivered packet).
+    fn result(policy: &str, bench: &str, energy_j: f64, latency_ns: f64) -> PolicyResult {
+        let stats = RunStats {
+            packets_delivered: 1,
+            net_latency_sum_ticks: (latency_ns * TICKS_PER_NS as f64) as u128,
+            ..RunStats::default()
+        };
+        PolicyResult {
+            benchmark: bench.to_string(),
+            policy: PolicySpec::new(policy),
+            report: RunReport {
+                policy: policy.to_string(),
+                trace: bench.to_string(),
+                finished_at: SimTime::ZERO,
+                stats,
+                energy: EnergyReport {
+                    static_j: energy_j,
+                    ..EnergyReport::default()
+                },
+                per_router: Vec::new(),
+            },
+        }
+    }
+
+    /// Regression: a spec with zero comparable results used to average
+    /// to an EDP ratio of 0.0 and take rank 1. It must report NaN and
+    /// rank last.
+    #[test]
+    fn zero_result_policy_ranks_last_not_first() {
+        let registry = PolicyRegistry::global();
+        let specs = vec![
+            PolicySpec::new("baseline"),
+            PolicySpec::new("dozznoc"),
+            PolicySpec::new("ghost"), // no results at all
+        ];
+        let results = vec![
+            result("baseline", "x264", 2.0, 10.0),
+            result("dozznoc", "x264", 1.0, 10.0),
+        ];
+        let standings = rank(registry, &specs, &results);
+        assert_eq!(standings[0].name, "dozznoc");
+        assert!((standings[0].edp_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(standings[1].name, "baseline");
+        let ghost = &standings[2];
+        assert_eq!(ghost.name, "ghost");
+        assert!(ghost.edp_ratio.is_nan(), "ghost EDP must be NaN");
+        assert!(ghost.energy_ratio.is_nan());
+        assert!(ghost.latency_ratio.is_nan());
+        assert!(ghost.throughput_ratio.is_nan());
+        assert_eq!(ghost.wins, 0);
+    }
+
+    /// A policy whose benchmarks have no baseline row is just as
+    /// incomparable as one with no rows.
+    #[test]
+    fn policy_without_baseline_rows_is_incomparable() {
+        let registry = PolicyRegistry::global();
+        let specs = vec![PolicySpec::new("baseline"), PolicySpec::new("dozznoc")];
+        let results = vec![
+            result("baseline", "x264", 2.0, 10.0),
+            // dozznoc only ran a benchmark the baseline never did.
+            result("dozznoc", "bodytrack", 1.0, 10.0),
+        ];
+        let standings = rank(registry, &specs, &results);
+        assert_eq!(standings[0].name, "baseline");
+        assert_eq!(standings[1].name, "dozznoc");
+        assert!(standings[1].edp_ratio.is_nan());
+    }
+
+    /// Per-benchmark wins still go to the lowest-EDP policy, and the
+    /// comparable ratios average normally.
+    #[test]
+    fn wins_and_ratios_survive_the_nan_policy() {
+        let registry = PolicyRegistry::global();
+        let specs = vec![
+            PolicySpec::new("baseline"),
+            PolicySpec::new("dozznoc"),
+            PolicySpec::new("ghost"),
+        ];
+        let results = vec![
+            result("baseline", "x264", 2.0, 10.0),
+            result("dozznoc", "x264", 1.0, 5.0),
+            result("baseline", "ferret", 4.0, 10.0),
+            result("dozznoc", "ferret", 1.0, 10.0),
+        ];
+        let standings = rank(registry, &specs, &results);
+        let dozz = &standings[0];
+        assert_eq!(dozz.name, "dozznoc");
+        assert_eq!(dozz.wins, 2);
+        // x264: edp 5/20 = 0.25; ferret: 10/40 = 0.25 → mean 0.25.
+        assert!((dozz.edp_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(standings[2].name, "ghost");
+    }
+
+    #[test]
+    fn nan_ratio_renders_as_na() {
+        assert_eq!(fmt_ratio(f64::NAN, 3), "n/a");
+        assert_eq!(fmt_ratio(0.5, 3), "0.500");
+        assert_eq!(fmt_ratio(1.25, 4), "1.2500");
     }
 }

@@ -8,6 +8,12 @@
 //!   lossy tick casts, `.ticks()` narrowing, thread spawns outside the
 //!   scheduler, RunStats test coverage. `--skip-clippy` runs the scans
 //!   alone, with no compilation at all.
+//! - **`bench [--quick] [--compare BASELINE.json] [--write-baseline]`**
+//!   — the perf yardstick. Runs the regime × topology × jobs matrix
+//!   through `dozz-repro bench-cell` subprocesses, writes the
+//!   versioned `BENCH_matrix.json`, and with `--compare` gates against
+//!   a committed baseline (`crates/xtask/bench-baseline.json`) with
+//!   per-regime thresholds and a noise floor. See `xtask::bench`.
 //! - **`analyze [--json PATH] [--write-baseline]`** — the deep path.
 //!   Parses every workspace crate with the vendored `syn` stand-in and
 //!   runs the five semantic passes (`xtask::analyze`): unit
@@ -25,6 +31,7 @@ use std::path::Path;
 use std::process::{Command, ExitCode};
 
 use xtask::analyze;
+use xtask::bench;
 use xtask::diag::{Baseline, Diagnostic, Report, Severity};
 use xtask::scans;
 
@@ -43,8 +50,9 @@ fn main() -> ExitCode {
             let write_baseline = args.iter().any(|a| a == "--write-baseline");
             run_analyze(json.as_deref(), write_baseline)
         }
+        Some("bench") => bench::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|analyze> [options]");
+            eprintln!("usage: cargo xtask <lint|analyze|bench> [options]");
             eprintln!();
             eprintln!("  lint                workspace clippy (-D warnings), advisory");
             eprintln!("                      indexing_slicing sweep, and the string scans");
@@ -58,6 +66,16 @@ fn main() -> ExitCode {
             eprintln!("                      float-compare");
             eprintln!("    --json PATH       also write the JSON report to PATH");
             eprintln!("    --write-baseline  regenerate the grandfathered-findings file");
+            eprintln!();
+            eprintln!("  bench               perf yardstick: regime × topology × jobs matrix");
+            eprintln!("                      through the real engine, written to");
+            eprintln!("                      BENCH_matrix.json (versioned schema)");
+            eprintln!("    --quick           short cells (CI profile)");
+            eprintln!("    --compare PATH    gate against a baseline matrix; non-zero exit");
+            eprintln!("                      on regression beyond the per-regime thresholds");
+            eprintln!("    --write-baseline  also refresh crates/xtask/bench-baseline.json");
+            eprintln!("    --out PATH        matrix output path (default BENCH_matrix.json)");
+            eprintln!("    --skip-build      reuse an existing release dozz-repro binary");
             ExitCode::FAILURE
         }
     }

@@ -118,6 +118,7 @@ fn engine_results_are_identical_across_jobs_and_cache_states() {
                 jobs: Some(jobs(1)),
                 cache: Some(&cache),
                 sanitize: false,
+                measure: false,
             },
         );
         assert!(
@@ -134,6 +135,7 @@ fn engine_results_are_identical_across_jobs_and_cache_states() {
                 jobs: Some(jobs(8)),
                 cache: None,
                 sanitize: false,
+                measure: false,
             },
         );
 
@@ -145,6 +147,7 @@ fn engine_results_are_identical_across_jobs_and_cache_states() {
                 jobs: Some(jobs(8)),
                 cache: Some(&cache),
                 sanitize: false,
+                measure: false,
             },
         );
         assert!(
@@ -212,6 +215,7 @@ fn online_policies_are_deterministic_across_jobs_and_cache_states() {
                     jobs: Some(jobs(jobs_n)),
                     cache,
                     sanitize: false,
+                    measure: false,
                 },
             )
             .expect("extension specs build")

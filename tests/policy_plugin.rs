@@ -110,6 +110,7 @@ fn third_party_factory_runs_campaigns_without_touching_modelkind() {
                 jobs: None,
                 cache: None,
                 sanitize: false,
+                measure: false,
             },
         )
         .expect("both specs build");
@@ -129,6 +130,7 @@ fn third_party_factory_runs_campaigns_without_touching_modelkind() {
                 jobs: None,
                 cache: None,
                 sanitize: false,
+                measure: false,
             },
         )
         .expect_err("period=0 must be rejected");
@@ -159,6 +161,7 @@ fn spec_path_replays_a_cache_warmed_by_the_modelkind_path() {
         jobs: None,
         cache,
         sanitize: false,
+        measure: false,
     };
 
     let legacy = campaign.run_cells(&benches, &suite, &opts(Some(&cache)));
