@@ -265,8 +265,18 @@ impl RunCache {
             return;
         }
         // Write-then-rename so a concurrent reader never sees a torn
-        // entry (it would shrug it off as a miss, but why make it).
-        let tmp = self.dir.join(format!("{fp}.{}.tmp", std::process::id()));
+        // entry (it would shrug it off as a miss, but why make it). The
+        // temp name must be unique per *call*, not just per process:
+        // two threads warming the same fingerprint would otherwise
+        // share one temp file, and the first rename could publish the
+        // second writer's half-written bytes (tests/stress_schedule.rs
+        // reproduces exactly that).
+        static TMP_SALT: AtomicU64 = AtomicU64::new(0);
+        // xtask-analyze: allow(atomic-ordering) — the counter only feeds a unique file name; no data is published through it
+        let salt = TMP_SALT.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("{fp}.{}.{salt}.tmp", std::process::id()));
         if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, self.entry_path(fp)).is_ok() {
             // xtask-analyze: allow(atomic-ordering) — store counter is telemetry only.
             self.stores.fetch_add(1, Ordering::Relaxed);

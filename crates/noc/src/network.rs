@@ -136,6 +136,13 @@ pub struct Network {
     sa_cand: Vec<usize>,
     /// Number of live candidates per output-port bucket in `sa_cand`.
     sa_cand_len: Vec<usize>,
+    /// Dump router state on livelock (the `DOZZNOC_DUMP_ON_LIVELOCK`
+    /// env var, read once at construction: the engine region itself
+    /// must stay free of ambient process state — determinism-taint
+    /// pass). Deliberately not part of `NocConfig`: it changes only
+    /// what is printed on an error path, never simulation output, so
+    /// it must not perturb run-cache fingerprints.
+    dump_on_livelock: bool,
 }
 
 impl Network {
@@ -174,6 +181,8 @@ impl Network {
                 vec![0; n_ports * n_slots]
             },
             sa_cand_len: vec![0; topo.ports_per_router()],
+            // xtask-analyze: allow(determinism-taint) — read once at construction, before any simulation state exists; the flag only gates error-path printing, never simulation output
+            dump_on_livelock: std::env::var_os("DOZZNOC_DUMP_ON_LIVELOCK").is_some(),
         }
     }
 
@@ -373,7 +382,7 @@ impl Network {
                 break;
             }
             if self.now >= self.cfg.max_ticks {
-                if std::env::var_os("DOZZNOC_DUMP_ON_LIVELOCK").is_some() {
+                if self.dump_on_livelock {
                     self.dump_state();
                 }
                 return Err(SimError::Livelock {

@@ -19,9 +19,6 @@ use crate::diag::{Diagnostic, Severity};
 
 pub struct AtomicOrdering;
 
-/// The one module whose relaxed counter is documented by design.
-const EXEMPT_FILE: &str = "crates/core/src/schedule.rs";
-
 impl Pass for AtomicOrdering {
     fn id(&self) -> &'static str {
         "atomic-ordering"
@@ -29,7 +26,11 @@ impl Pass for AtomicOrdering {
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            if file.rel == EXEMPT_FILE {
+            // The scheduler's waiver lives in the shared exemption
+            // table (diag::EXEMPTIONS) next to the lint thread-spawn
+            // waiver; the lock-discipline pass still pair-checks its
+            // orderings for internal consistency.
+            if crate::diag::is_exempt("atomic-ordering", &file.rel) {
                 continue;
             }
             // Lex the whole file: item-level token trees would miss
@@ -49,11 +50,11 @@ impl Pass for AtomicOrdering {
                             file: file.rel.clone(),
                             line: t.span.line,
                             column: t.span.column,
-                            message: format!(
-                                "`Ordering::Relaxed` outside {EXEMPT_FILE} — justify why no \
+                            message: "`Ordering::Relaxed` outside the exempt scheduler module — \
+                                 justify why no \
                                  happens-before edge is needed with `// xtask-analyze: \
                                  allow(atomic-ordering) — <why>`, or use Acquire/Release"
-                            ),
+                                .to_string(),
                         });
                     }
                 }

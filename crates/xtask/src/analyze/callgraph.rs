@@ -1,0 +1,227 @@
+//! Workspace call graph over the expression-level AST.
+//!
+//! PR 5's panic-reachability pass built a per-crate, token-adjacency
+//! call graph inline; the dataflow passes need the same reachability
+//! primitive across several crates and with parsed (not token-matched)
+//! call sites, so this module hoists it into a reusable structure.
+//!
+//! Resolution is by *simple name*: a call to `foo(..)`, `Type::foo(..)`
+//! or `.foo(..)` is an edge to every in-scope function named `foo`.
+//! That deliberately over-approximates (two unrelated `get`s alias) —
+//! for taint-style passes over-approximation is the safe direction, and
+//! the scope hook lets a pass trim the graph to the crates where the
+//! precision/recall trade-off works (the engine crates; the CLI layer
+//! in `experiments` is where env reads and wall clocks legitimately
+//! live).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use syn::{Block, Delim, Expr, Tok};
+
+use crate::analyze::{for_each_fn, SourceFile, Workspace};
+
+/// One function node: where it is and what it calls.
+pub struct FnNode {
+    /// `Type::name` or bare `name`.
+    pub qual: String,
+    /// The unqualified name calls resolve against.
+    pub simple: String,
+    /// Root-relative file path.
+    pub rel: String,
+    /// Crate directory name.
+    pub krate: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Simple names of everything this function calls.
+    pub calls: BTreeSet<String>,
+    /// The parsed body, for passes that walk reachable functions.
+    pub body: Option<Block>,
+}
+
+/// Simple-name-resolved call graph over a subset of workspace files.
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    by_simple: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build from every file `scope` admits. Test functions and
+    /// `#[cfg(test)]` modules are excluded — they are not part of any
+    /// engine path.
+    pub fn build(ws: &Workspace, scope: &dyn Fn(&SourceFile) -> bool) -> CallGraph {
+        let mut nodes = Vec::new();
+        for file in ws.files.iter().filter(|f| scope(f)) {
+            for_each_fn(file, true, &mut |fr| {
+                let body = fr.item.body.as_deref().map(syn::parse_block);
+                let calls = body.as_ref().map(called_names).unwrap_or_default();
+                nodes.push(FnNode {
+                    qual: fr.qual_name(),
+                    simple: fr.item.sig.ident.clone(),
+                    rel: file.rel.clone(),
+                    krate: file.krate.clone(),
+                    line: fr.item.span.line,
+                    calls,
+                    body,
+                });
+            });
+        }
+        let by_simple = nodes.iter().enumerate().fold(
+            BTreeMap::new(),
+            |mut m: BTreeMap<String, Vec<usize>>, (i, n)| {
+                m.entry(n.simple.clone()).or_default().push(i);
+                m
+            },
+        );
+        CallGraph { nodes, by_simple }
+    }
+
+    /// Indices of every function with this simple name.
+    pub fn by_simple(&self, name: &str) -> &[usize] {
+        self.by_simple.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Node indices reachable from any root matched by qualified or
+    /// simple name, roots included.
+    pub fn reachable_from(&self, roots: &[&str]) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| roots.contains(&n.qual.as_str()) || roots.contains(&n.simple.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        while let Some(i) = queue.pop_front() {
+            if !seen.insert(i) {
+                continue;
+            }
+            for callee in &self.nodes[i].calls {
+                for &j in self.by_simple(callee) {
+                    if !seen.contains(&j) {
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Simple names of every call in a block: parsed `Call`/`MethodCall`
+/// expressions, plus `ident (…)` adjacency inside verbatim token runs
+/// (macro arguments, struct-literal tails) so degraded parses still
+/// contribute edges.
+pub fn called_names(block: &Block) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    syn::walk_block_exprs(block, &mut |e| match e {
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segments, .. } = &**callee {
+                if let Some(last) = segments.last() {
+                    names.insert(last.clone());
+                }
+            }
+        }
+        Expr::MethodCall { method, .. } => {
+            names.insert(method.clone());
+        }
+        Expr::Verbatim { tokens, .. } => {
+            let mut scan = |level: &[syn::Token]| {
+                for (i, t) in level.iter().enumerate() {
+                    if let Some(id) = t.ident() {
+                        if matches!(
+                            level.get(i + 1).map(|n| &n.tok),
+                            Some(Tok::Group(Delim::Paren, _))
+                        ) {
+                            names.insert(id.to_string());
+                        }
+                    }
+                }
+            };
+            crate::analyze::for_each_level(tokens, &mut scan);
+        }
+        _ => {}
+    });
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (krate, rel, src) in files {
+            ws.add_source(*krate, *rel, (*src).to_string());
+        }
+        assert!(ws.parse_errors.is_empty(), "{:?}", ws.parse_errors);
+        ws
+    }
+
+    #[test]
+    fn reachability_follows_calls_across_files() {
+        let ws = ws(&[
+            (
+                "noc",
+                "crates/noc/src/a.rs",
+                "pub fn root() { helper(); }\n",
+            ),
+            (
+                "core",
+                "crates/core/src/b.rs",
+                "pub fn helper() { leaf(); }\npub fn leaf() {}\npub fn unrelated() {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ws, &|_| true);
+        let reach = g.reachable_from(&["root"]);
+        let names: Vec<&str> = reach.iter().map(|&i| g.nodes[i].simple.as_str()).collect();
+        assert_eq!(names, vec!["root", "helper", "leaf"]);
+    }
+
+    #[test]
+    fn scope_trims_the_graph() {
+        let ws = ws(&[
+            (
+                "noc",
+                "crates/noc/src/a.rs",
+                "pub fn root() { helper(); }\n",
+            ),
+            (
+                "experiments",
+                "crates/experiments/src/b.rs",
+                "pub fn helper() {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ws, &|f| f.krate != "experiments");
+        let reach = g.reachable_from(&["root"]);
+        assert_eq!(reach.len(), 1, "out-of-scope helper must not be a node");
+    }
+
+    #[test]
+    fn method_calls_and_macro_args_are_edges() {
+        let ws = ws(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "impl T { pub fn run(&self) { self.step(); println!(\"{}\", cost(1)); } }\n\
+             impl T { pub fn step(&self) {} }\n\
+             pub fn cost(x: u64) -> u64 { x }\n",
+        )]);
+        let g = CallGraph::build(&ws, &|_| true);
+        let reach = g.reachable_from(&["T::run"]);
+        let names: Vec<&str> = reach.iter().map(|&i| g.nodes[i].simple.as_str()).collect();
+        assert!(names.contains(&"step"), "method edge missing: {names:?}");
+        assert!(names.contains(&"cost"), "macro-arg edge missing: {names:?}");
+    }
+
+    #[test]
+    fn test_functions_are_not_nodes() {
+        let ws = ws(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "#[test]\nfn t() { root(); }\npub fn root() {}\n\
+             #[cfg(test)]\nmod tests { pub fn helper() {} }\n",
+        )]);
+        let g = CallGraph::build(&ws, &|_| true);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].simple, "root");
+    }
+}

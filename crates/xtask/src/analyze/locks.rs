@@ -1,0 +1,346 @@
+//! Pass 7 — `lock-discipline` (deny).
+//!
+//! Two checks over synchronization primitives, both feeding the same
+//! rule ID:
+//!
+//! 1. **Lock ordering.** Every `Mutex`/`RwLock` acquisition
+//!    (`.lock()` / `.read()` / `.write()`) is recorded per function;
+//!    when one acquisition happens while another guard is plausibly
+//!    held (a nested acquisition inside the same expression, or after a
+//!    `let guard = …` earlier in the same block), the pair becomes an
+//!    edge in a workspace-wide lock-order graph. A cycle in that graph
+//!    — `A` then `B` in one function, `B` then `A` in another — is the
+//!    classic deadlock shape and is denied at the back-edge site.
+//!
+//! 2. **Atomic ordering pairs.** For every atomic accessed by name, the
+//!    memory orderings of its loads, stores and RMWs must form a
+//!    coherent protocol: all-`Relaxed` (a pure counter), or
+//!    `Release`-writes paired with `Acquire`-reads, or all-`SeqCst`.
+//!    A `Release` store whose loads are `Relaxed` (or vice versa)
+//!    publishes nothing and is denied. This audits the cache-stats
+//!    counters and the injector cursor instead of blanket-exempting
+//!    the files that hold them — the `atomic-ordering` file exemption
+//!    silences the *Relaxed-is-suspect* rule, not this coherence check.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use syn::{Expr, Span};
+
+use crate::analyze::{for_each_fn, Pass, Workspace};
+use crate::diag::{Diagnostic, Severity};
+
+pub struct LockDiscipline;
+
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+const LOAD_METHODS: [&str; 1] = ["load"];
+const STORE_METHODS: [&str; 1] = ["store"];
+const RMW_METHODS: [&str; 8] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+impl Pass for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // lock name -> held-then-acquired edges, with one witness site.
+        let mut edges: BTreeMap<(String, String), (String, Span, String)> = BTreeMap::new();
+        // atomic name -> ordering sets and a witness site per ordering kind.
+        let mut atomics: BTreeMap<String, AtomicUses> = BTreeMap::new();
+
+        for file in &ws.files {
+            for_each_fn(file, true, &mut |fr| {
+                let Some(body) = &fr.item.body else { return };
+                let block = syn::parse_block(body);
+                record_lock_edges(&block, &file.rel, &fr.qual_name(), &mut edges);
+                record_atomic_uses(&block, &file.rel, &mut atomics);
+            });
+        }
+
+        // A cycle through any pair of locks: report the lexically-larger
+        // edge so the finding is deterministic.
+        for ((a, b), (rel, span, qual)) in &edges {
+            if a < b {
+                continue; // the reverse direction reports
+            }
+            if let Some((rel2, _, qual2)) = edges.get(&(b.clone(), a.clone())) {
+                out.push(Diagnostic {
+                    rule: "lock-discipline",
+                    severity: Severity::Deny,
+                    file: rel.clone(),
+                    line: span.line,
+                    column: span.column,
+                    message: format!(
+                        "lock-order cycle: `{qual}` acquires `{a}` then `{b}`, but `{qual2}` \
+                         ({rel2}) acquires them in the opposite order — pick one global order \
+                         or merge the critical sections"
+                    ),
+                });
+            }
+        }
+
+        for (name, uses) in &atomics {
+            check_atomic_protocol(name, uses, out);
+        }
+    }
+}
+
+/// Orderings seen for one named atomic, split by access kind.
+#[derive(Default)]
+struct AtomicUses {
+    loads: BTreeSet<String>,
+    stores: BTreeSet<String>,
+    rmws: BTreeSet<String>,
+    /// Witness site of the first recorded use.
+    site: Option<(String, Span)>,
+}
+
+/// Flattened receiver name of a lock/atomic: `self.cache.hits` →
+/// `cache.hits` (the `self` prefix is dropped so the same field matches
+/// across methods), `COUNTER` → `COUNTER`.
+fn receiver_name(e: &Expr) -> Option<String> {
+    fn build(e: &Expr, parts: &mut Vec<String>) -> bool {
+        match e {
+            Expr::Path { segments, .. } => {
+                for s in segments {
+                    if s != "self" {
+                        parts.push(s.clone());
+                    }
+                }
+                true
+            }
+            Expr::Field { base, member, .. } => {
+                if !build(base, parts) {
+                    return false;
+                }
+                parts.push(member.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+    let mut parts = Vec::new();
+    if build(e, &mut parts) && !parts.is_empty() {
+        Some(parts.join("."))
+    } else {
+        None
+    }
+}
+
+/// Record held-then-acquired lock pairs in one function body.
+///
+/// "Held" is approximated lexically: a guard bound by `let` stays held
+/// for the rest of its block; an acquisition nested inside another
+/// acquisition's expression is held around it by construction. This
+/// over-approximates guard lifetimes (an early `drop(guard)` still
+/// counts) — for a deadlock-shape check, too many edges only costs a
+/// justified suppression, while too few misses a deadlock.
+fn record_lock_edges(
+    block: &syn::Block,
+    rel: &str,
+    qual: &str,
+    edges: &mut BTreeMap<(String, String), (String, Span, String)>,
+) {
+    let mut held: Vec<String> = Vec::new();
+    walk_block(block, rel, qual, &mut held, edges);
+
+    fn walk_block(
+        block: &syn::Block,
+        rel: &str,
+        qual: &str,
+        held: &mut Vec<String>,
+        edges: &mut BTreeMap<(String, String), (String, Span, String)>,
+    ) {
+        let held_at_entry = held.len();
+        for stmt in &block.stmts {
+            match stmt {
+                syn::Stmt::Let { init: Some(e), .. } => {
+                    // Acquisitions in a let-initializer stay held for
+                    // the rest of the block.
+                    walk_expr(e, rel, qual, held, edges, true);
+                }
+                syn::Stmt::Expr(e) => {
+                    // Statement-temporary guards die at the `;`.
+                    let before = held.len();
+                    walk_expr(e, rel, qual, held, edges, false);
+                    held.truncate(before);
+                }
+                _ => {}
+            }
+        }
+        held.truncate(held_at_entry);
+    }
+
+    fn walk_expr(
+        e: &Expr,
+        rel: &str,
+        qual: &str,
+        held: &mut Vec<String>,
+        edges: &mut BTreeMap<(String, String), (String, Span, String)>,
+        keep: bool,
+    ) {
+        // Sub-blocks get their own scope.
+        if let Expr::Block(b) = e {
+            walk_block(b, rel, qual, held, edges);
+            return;
+        }
+        if let Expr::MethodCall {
+            recv,
+            method,
+            args,
+            span,
+        } = e
+        {
+            // Receiver first: `a.lock().x.lock()` acquires left-to-right.
+            walk_expr(recv, rel, qual, held, edges, keep);
+            for a in args {
+                walk_expr(a, rel, qual, held, edges, keep);
+            }
+            if ACQUIRE_METHODS.contains(&method.as_str()) {
+                if let Some(name) = receiver_name(recv) {
+                    for h in held.iter() {
+                        if h != &name {
+                            edges
+                                .entry((h.clone(), name.clone()))
+                                .or_insert_with(|| (rel.to_string(), *span, qual.to_string()));
+                        }
+                    }
+                    held.push(name);
+                }
+            }
+            return;
+        }
+        // Generic recursion; closures are walked too (a closure that
+        // locks while the caller holds a guard is exactly the hazard).
+        let before = held.len();
+        syn::walk_exprs(e, &mut |sub| {
+            if std::ptr::eq(sub, e) {
+                return;
+            }
+            if let Expr::MethodCall {
+                recv, method, span, ..
+            } = sub
+            {
+                if ACQUIRE_METHODS.contains(&method.as_str()) {
+                    if let Some(name) = receiver_name(recv) {
+                        for h in held.iter() {
+                            if h != &name {
+                                edges
+                                    .entry((h.clone(), name.clone()))
+                                    .or_insert_with(|| (rel.to_string(), *span, qual.to_string()));
+                            }
+                        }
+                        held.push(name);
+                    }
+                }
+            }
+        });
+        if !keep {
+            held.truncate(before);
+        }
+    }
+}
+
+/// Record the ordering every load/store/RMW uses, per atomic name.
+fn record_atomic_uses(block: &syn::Block, rel: &str, atomics: &mut BTreeMap<String, AtomicUses>) {
+    syn::walk_block_exprs(block, &mut |e| {
+        let Expr::MethodCall {
+            recv,
+            method,
+            args,
+            span,
+        } = e
+        else {
+            return;
+        };
+        let kind = if LOAD_METHODS.contains(&method.as_str()) {
+            0
+        } else if STORE_METHODS.contains(&method.as_str()) {
+            1
+        } else if RMW_METHODS.contains(&method.as_str()) {
+            2
+        } else {
+            return;
+        };
+        let Some(ordering) = args.iter().find_map(ordering_of) else {
+            return; // not an atomic access (e.g. RunCache::store)
+        };
+        let Some(name) = receiver_name(recv) else {
+            return;
+        };
+        let uses = atomics.entry(name).or_default();
+        uses.site.get_or_insert_with(|| (rel.to_string(), *span));
+        match kind {
+            0 => uses.loads.insert(ordering),
+            1 => uses.stores.insert(ordering),
+            _ => uses.rmws.insert(ordering),
+        };
+    });
+}
+
+/// `Ordering::Relaxed` / bare `Relaxed` argument → the ordering name.
+fn ordering_of(e: &Expr) -> Option<String> {
+    if let Expr::Path { segments, .. } = e {
+        let last = segments.last()?;
+        if ORDERINGS.contains(&last.as_str())
+            && (segments.len() == 1 || segments.iter().any(|s| s == "Ordering"))
+        {
+            return Some(last.clone());
+        }
+    }
+    None
+}
+
+/// Coherence rules for one atomic's observed orderings.
+fn check_atomic_protocol(name: &str, uses: &AtomicUses, out: &mut Vec<Diagnostic>) {
+    let Some((rel, span)) = &uses.site else {
+        return;
+    };
+    let release_write = uses.stores.contains("Release")
+        || uses.rmws.contains("Release")
+        || uses.rmws.contains("AcqRel");
+    let acquire_read = uses.loads.contains("Acquire")
+        || uses.rmws.contains("Acquire")
+        || uses.rmws.contains("AcqRel");
+    let diag = |msg: String| Diagnostic {
+        rule: "lock-discipline",
+        severity: Severity::Deny,
+        file: rel.clone(),
+        line: span.line,
+        column: span.column,
+        message: msg,
+    };
+    if release_write && !uses.loads.is_empty() && !acquire_read && !uses.loads.contains("SeqCst") {
+        out.push(diag(format!(
+            "atomic `{name}` is written with Release but read only with \
+             {:?} — a Release store publishes nothing to a Relaxed load; \
+             pair it with Acquire loads or relax the store",
+            uses.loads
+        )));
+    } else if acquire_read
+        && (!uses.stores.is_empty() || !uses.rmws.is_empty())
+        && !release_write
+        && !uses.stores.contains("SeqCst")
+        && !uses.rmws.contains("SeqCst")
+    {
+        out.push(diag(format!(
+            "atomic `{name}` is read with Acquire but written only with \
+             {:?} — an Acquire load synchronizes with nothing unless some \
+             write releases; use Release writes or relax the load",
+            if uses.stores.is_empty() {
+                &uses.rmws
+            } else {
+                &uses.stores
+            }
+        )));
+    }
+}

@@ -4,7 +4,7 @@
 //! runs typed semantic passes over the item/token trees. Where
 //! `cargo xtask lint`'s string scans see characters, these passes see
 //! structure: token adjacency, function signatures, attributes, and an
-//! intra-crate call graph. Five passes ship (see the submodules):
+//! intra-crate call graph. Nine passes ship (see the submodules):
 //!
 //! | rule               | severity       | what it catches                         |
 //! |--------------------|----------------|-----------------------------------------|
@@ -13,6 +13,15 @@
 //! | `atomic-ordering`  | deny           | undocumented `Ordering::Relaxed`        |
 //! | `must-use-builder` | warn           | builder fns missing `#[must_use]`       |
 //! | `float-compare`    | warn           | `==`/`!=` on floats in report code      |
+//! | `thread-escape`    | deny           | risky captures crossing spawn points    |
+//! | `lock-discipline`  | deny           | lock-order cycles, incoherent atomics   |
+//! | `determinism-taint`| deny           | clocks/env/hash-order in the engine     |
+//! | `unit-flow`        | deny           | tick/cycle mixing across call sites     |
+//!
+//! The last four run on the expression-level AST (`syn::parse_block`)
+//! and the workspace call graph (`callgraph`) — they gate the upcoming
+//! sharded engine (ROADMAP item 1, DESIGN.md §9 pre-sharding
+//! checklist).
 //!
 //! Findings flow through the shared diagnostics engine (`crate::diag`):
 //! `// xtask-analyze: allow(<rule>) — <why>` suppressions, the
@@ -20,10 +29,15 @@
 //! deny/warn exit gate.
 
 pub mod atomics;
+pub mod callgraph;
+pub mod determinism;
+pub mod escape;
 pub mod float_cmp;
+pub mod locks;
 pub mod must_use;
 pub mod panic_reach;
 pub mod unit_consistency;
+pub mod unit_flow;
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -34,13 +48,17 @@ use syn::{Delim, Item, ItemFn, Tok, Token};
 use crate::diag::{apply_suppressions, Baseline, Diagnostic, Report, Severity};
 
 /// Rule IDs the analyzer can emit; suppression markers must name one.
-pub const ANALYZE_RULES: [&str; 7] = [
+pub const ANALYZE_RULES: [&str; 11] = [
     "parse-error",
     "unit-consistency",
     "panic-reachability",
     "atomic-ordering",
     "must-use-builder",
     "float-compare",
+    "thread-escape",
+    "lock-discipline",
+    "determinism-taint",
+    "unit-flow",
     "suppression-hygiene",
 ];
 
@@ -136,6 +154,10 @@ pub fn passes() -> Vec<Box<dyn Pass>> {
         Box::new(atomics::AtomicOrdering),
         Box::new(must_use::MustUseBuilders),
         Box::new(float_cmp::FloatCompare),
+        Box::new(escape::ThreadEscape),
+        Box::new(locks::LockDiscipline),
+        Box::new(determinism::DeterminismTaint),
+        Box::new(unit_flow::UnitFlow),
     ]
 }
 
@@ -149,10 +171,14 @@ pub fn run(root: &Path) -> Result<Report, String> {
 /// Analyze an already-loaded workspace (fixtures use this directly).
 pub fn run_on(ws: &Workspace, mut baseline: Baseline) -> Report {
     let mut findings = ws.parse_errors.clone();
-    for pass in passes() {
-        pass.run(ws, &mut findings);
-    }
     let mut report = Report::default();
+    for pass in passes() {
+        let started = std::time::Instant::now();
+        pass.run(ws, &mut findings);
+        report
+            .timings
+            .push((pass.id().to_string(), started.elapsed().as_secs_f64() * 1e3));
+    }
     let findings = apply_suppressions(
         findings,
         &|rel| {

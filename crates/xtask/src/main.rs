@@ -16,10 +16,14 @@
 //!   per-regime thresholds and a noise floor. See `xtask::bench`.
 //! - **`analyze [--json PATH] [--write-baseline]`** — the deep path.
 //!   Parses every workspace crate with the vendored `syn` stand-in and
-//!   runs the five semantic passes (`xtask::analyze`): unit
+//!   runs the nine semantic passes (`xtask::analyze`): unit
 //!   consistency for the sealed time types, panic reachability from
 //!   the simulation roots, the `Ordering::Relaxed` audit, `#[must_use]`
-//!   on builders, and float comparisons in report code. Findings are
+//!   on builders, float comparisons in report code, and the four
+//!   expression-level dataflow passes that gate the sharded engine —
+//!   thread-boundary escape of unsynchronized state, lock/atomic
+//!   discipline, determinism taint reachable from the engine roots,
+//!   and interprocedural tick/cycle unit flow. Findings are
 //!   filtered through justified suppressions and the checked-in
 //!   baseline (`crates/xtask/analyze-baseline.json`); any surviving
 //!   `deny` or `warn` fails the build. `--json` additionally writes the
@@ -60,10 +64,11 @@ fn main() -> ExitCode {
             eprintln!("                      test coverage)");
             eprintln!("    --skip-clippy     string scans only (no compilation)");
             eprintln!();
-            eprintln!("  analyze             AST-level passes over every workspace crate:");
+            eprintln!("  analyze             AST + dataflow passes over every workspace crate:");
             eprintln!("                      unit-consistency, panic-reachability,");
             eprintln!("                      atomic-ordering, must-use-builder,");
-            eprintln!("                      float-compare");
+            eprintln!("                      float-compare, thread-escape, lock-discipline,");
+            eprintln!("                      determinism-taint, unit-flow");
             eprintln!("    --json PATH       also write the JSON report to PATH");
             eprintln!("    --write-baseline  regenerate the grandfathered-findings file");
             eprintln!();

@@ -40,7 +40,10 @@ pub const THREAD_SPAWN_ALLOW: &str = "xtask-lint: allow(thread-spawn)";
 /// The one module allowed to spawn threads: the work-stealing cell
 /// scheduler. Everything else must fan out through it so the
 /// determinism suite (`tests/determinism.rs`) covers every parallel
-/// caller at once.
+/// caller at once. The waiver itself lives in the shared exemption
+/// table ([`crate::diag::EXEMPTIONS`]) so this scan and the analyze
+/// passes cannot disagree; this constant is kept as the conventional
+/// name for the module.
 pub const SCHEDULER_MODULE: &str = "crates/core/src/schedule.rs";
 
 /// Thread-creation forms the spawn scan rejects outside the scheduler.
@@ -77,7 +80,7 @@ pub fn scan_tree(root: &Path) -> Vec<Diagnostic> {
     for rel in rust_sources(root) {
         let src = read(root, &rel);
         findings.extend(scan_tick_narrowing(&rel, &src));
-        if rel != SCHEDULER_MODULE {
+        if !crate::diag::is_exempt("thread-spawn", &rel) {
             findings.extend(scan_thread_spawns(&rel, &src));
         }
     }

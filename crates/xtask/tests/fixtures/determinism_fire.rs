@@ -1,0 +1,29 @@
+//! Fixture: all four nondeterminism classes reachable from an engine
+//! root (`Network::run`): wall clock, clock arithmetic, hash-order
+//! iteration, and an ambient env read.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Network;
+
+impl Network {
+    pub fn run(&self) -> u64 {
+        stamp() + hash_walk() + ambient()
+    }
+}
+
+fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn hash_walk() -> u64 {
+    let m = HashMap::new();
+    m.insert(1u64, 2u64);
+    m.values().sum()
+}
+
+fn ambient() -> u64 {
+    std::env::var("DOZZ_SEED").map(|s| s.len() as u64).unwrap_or(0)
+}

@@ -1,0 +1,32 @@
+//! Fixture: the same taint sites as `determinism_fire.rs`, each
+//! silenced by a justified suppression.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Network;
+
+impl Network {
+    pub fn run(&self) -> u64 {
+        stamp() + hash_walk() + ambient()
+    }
+}
+
+fn stamp() -> u64 {
+    // xtask-analyze: allow(determinism-taint) — measurement scaffold, readings never reach simulation state
+    let t = Instant::now();
+    // xtask-analyze: allow(determinism-taint) — measurement scaffold, readings never reach simulation state
+    t.elapsed().as_nanos() as u64
+}
+
+fn hash_walk() -> u64 {
+    // xtask-analyze: allow(determinism-taint) — map is drained into a sorted Vec before any iteration
+    let m = HashMap::new();
+    m.insert(1u64, 2u64);
+    m.values().sum()
+}
+
+fn ambient() -> u64 {
+    // xtask-analyze: allow(determinism-taint) — read is compared for presence only, value never used
+    std::env::var("DOZZ_SEED").map(|s| s.len() as u64).unwrap_or(0)
+}

@@ -1,0 +1,35 @@
+//! Fixture: a lock-order cycle between two functions plus an atomic
+//! whose store/load orderings form no coherent protocol. Loaded under
+//! the scheduler's path, where the shared exemption table waives the
+//! Relaxed-is-suspect rule — lock-discipline still audits both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub ledger: Mutex<u64>,
+    pub stats: Mutex<u64>,
+    pub ready: AtomicU64,
+}
+
+impl Shared {
+    pub fn forward(&self) -> u64 {
+        let ledger = self.ledger.lock().unwrap();
+        let stats = self.stats.lock().unwrap();
+        *ledger + *stats
+    }
+
+    pub fn backward(&self) -> u64 {
+        let stats = self.stats.lock().unwrap();
+        let ledger = self.ledger.lock().unwrap();
+        *ledger + *stats
+    }
+
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: the same discipline violations as `locks_fire.rs` with
+//! justified suppressions at both reporting sites (the lock-order
+//! back-edge and the atomic's first use).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub ledger: Mutex<u64>,
+    pub stats: Mutex<u64>,
+    pub ready: AtomicU64,
+}
+
+impl Shared {
+    pub fn forward(&self) -> u64 {
+        let ledger = self.ledger.lock().unwrap();
+        let stats = self.stats.lock().unwrap();
+        *ledger + *stats
+    }
+
+    pub fn backward(&self) -> u64 {
+        let stats = self.stats.lock().unwrap();
+        // xtask-analyze: allow(lock-discipline) — forward/backward are proven never concurrent by the phase barrier
+        let ledger = self.ledger.lock().unwrap();
+        *ledger + *stats
+    }
+
+    pub fn publish(&self) {
+        // xtask-analyze: allow(lock-discipline) — ready is a monotonic flag read after join, no publication intended
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

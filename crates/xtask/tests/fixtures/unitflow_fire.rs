@@ -1,0 +1,21 @@
+//! Fixture: tick/cycle unit mixing that only shows up across function
+//! boundaries — a cycle-typed binding and a cycle-returning call both
+//! passed where the callee declares ticks.
+
+use dozznoc_types::{DomainCycles, SimTime};
+
+pub fn deadline_in(t: SimTime) -> u64 {
+    t.ticks()
+}
+
+pub fn make_cycles(n: u64) -> DomainCycles {
+    DomainCycles::from_count(n)
+}
+
+pub fn mixes_binding(c: DomainCycles) -> u64 {
+    deadline_in(c)
+}
+
+pub fn mixes_through_call() -> u64 {
+    deadline_in(make_cycles(3))
+}

@@ -1,0 +1,22 @@
+//! Fixture: the same cross-function unit mixing as `unitflow_fire.rs`,
+//! silenced by justified suppressions at the call sites.
+
+use dozznoc_types::{DomainCycles, SimTime};
+
+pub fn deadline_in(t: SimTime) -> u64 {
+    t.ticks()
+}
+
+pub fn make_cycles(n: u64) -> DomainCycles {
+    DomainCycles::from_count(n)
+}
+
+pub fn mixes_binding(c: DomainCycles) -> u64 {
+    // xtask-analyze: allow(unit-flow) — c is documented to be base-clock-domain cycles, 1:1 with ticks here
+    deadline_in(c)
+}
+
+pub fn mixes_through_call() -> u64 {
+    // xtask-analyze: allow(unit-flow) — fixture exercises the suppression path
+    deadline_in(make_cycles(3))
+}

@@ -1,0 +1,1626 @@
+//! Statement/expression-level parser: function-body token trees → a
+//! typed statement/expression AST.
+//!
+//! The item parser (`crate::parse`) stops at function bodies — enough
+//! for signature-level passes, structurally blind inside. This module
+//! parses those bodies into the subset of Rust's expression grammar the
+//! dataflow passes need:
+//!
+//! - blocks and `let` statements (pattern idents, optional type tokens,
+//!   initializer),
+//! - paths (`a::b::c`), calls, method chains, field accesses, indexing,
+//! - closures with `move`-ness, parameter idents and body,
+//! - references (`&`/`&mut`), binary/unary operators, assignments,
+//! - `if`/`match`/`while`/`for`/`loop` control flow (conditions and
+//!   bodies modelled; match-arm patterns kept as tokens).
+//!
+//! Everything else — macro bodies, complex patterns, turbofish corner
+//! cases — degrades to [`Expr::Verbatim`] token runs rather than
+//! failing: a pass walking the AST still sees every token of the
+//! function, just with less structure. Parsing never errors and always
+//! makes progress; the worst mis-parse costs precision, not coverage.
+//!
+//! On top of the AST, [`free_idents`] computes the free identifiers of
+//! a block or expression (identifiers read that no enclosing `let`,
+//! closure parameter, or loop pattern binds) — the primitive behind
+//! closure capture analysis.
+
+use std::collections::BTreeSet;
+
+use crate::lex::{Delim, Span, Tok, Token};
+
+/// A `{ … }` body: its statements in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// One statement of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let [mut] pat [: ty] [= init];` — pattern identifiers are the
+    /// bindings the pattern introduces (heuristic for non-trivial
+    /// patterns: lowercase path segments bind, uppercase ones match).
+    Let {
+        idents: Vec<String>,
+        /// True when the binding (or any pattern ident) is `mut`.
+        mutable: bool,
+        /// Type-annotation tokens, verbatim, when present.
+        ty: Option<Vec<Token>>,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// An expression, with or without a trailing `;`.
+    Expr(Expr),
+    /// A nested item (`fn`, `struct`, `use`, …) kept as raw tokens.
+    Item(Vec<Token>),
+}
+
+/// One expression. `Box`es keep the enum small; spans point at the
+/// expression's first token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `a`, `a::b::C`, `Self::f` — segments in order.
+    Path { segments: Vec<String>, span: Span },
+    /// Any literal token (int, float, string, char, lifetime).
+    Lit { span: Span },
+    /// `callee(args…)`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    /// `recv.method(args…)`.
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    /// `base.member` (named or tuple field).
+    Field {
+        base: Box<Expr>,
+        member: String,
+        span: Span,
+    },
+    /// `base[index]`.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        span: Span,
+    },
+    /// `[move] |params…| body`.
+    Closure {
+        is_move: bool,
+        params: Vec<String>,
+        body: Box<Expr>,
+        span: Span,
+    },
+    /// `&expr` / `&mut expr`.
+    Reference {
+        mutable: bool,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    /// `lhs op rhs` for every binary operator (including `=`, `+=`, …).
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    /// `op expr` for prefix `!` / `-` / `*`.
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    /// A `{ … }` block expression.
+    Block(Block),
+    /// `if cond { … } [else …]` (also `if let …` — the pattern's idents
+    /// bind inside `then`).
+    If {
+        cond: Box<Expr>,
+        /// Idents bound by an `if let` pattern; empty for plain `if`.
+        bound: Vec<String>,
+        then: Block,
+        else_: Option<Box<Expr>>,
+        span: Span,
+    },
+    /// `match scrutinee { arms… }`; each arm is (pattern idents, guard
+    /// and body expression).
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+        span: Span,
+    },
+    /// `for pat in iter { … }`.
+    ForLoop {
+        bound: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+        span: Span,
+    },
+    /// `while cond { … }` / `while let pat = cond { … }` / `loop { … }`
+    /// (cond is a true literal for `loop`).
+    While {
+        cond: Box<Expr>,
+        bound: Vec<String>,
+        body: Block,
+        span: Span,
+    },
+    /// `return [expr]` / `break [expr]` / `continue`.
+    Jump {
+        keyword: String,
+        value: Option<Box<Expr>>,
+        span: Span,
+    },
+    /// Anything unmodelled (macro invocations, struct literals, raw
+    /// token runs). The tokens are kept so token-level scans lose
+    /// nothing.
+    Verbatim { tokens: Vec<Token>, span: Span },
+}
+
+/// One match arm: the idents its pattern binds and its body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    pub bound: Vec<String>,
+    pub body: Expr,
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Path { span, .. }
+            | Expr::Lit { span }
+            | Expr::Call { span, .. }
+            | Expr::MethodCall { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Closure { span, .. }
+            | Expr::Reference { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::If { span, .. }
+            | Expr::Match { span, .. }
+            | Expr::ForLoop { span, .. }
+            | Expr::While { span, .. }
+            | Expr::Jump { span, .. }
+            | Expr::Verbatim { span, .. } => *span,
+            Expr::Block(b) => b.span,
+        }
+    }
+}
+
+/// Parse a function-body token slice (the contents of its brace group)
+/// as a block. Never fails: unmodelled runs become `Verbatim`.
+pub fn parse_block(tokens: &[Token]) -> Block {
+    let span = tokens.first().map(|t| t.span).unwrap_or_default();
+    let mut p = Parser { tokens, i: 0 };
+    Block {
+        stmts: p.stmts(),
+        span,
+    }
+}
+
+/// Keywords that head a statement-like item inside a block.
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "impl", "trait", "mod", "use", "static", "type",
+];
+
+/// Keywords that are never path segments or operands.
+const NON_OPERAND_KEYWORDS: [&str; 6] = ["let", "else", "in", "where", "as", "mut"];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.i)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a Token> {
+        self.tokens.get(self.i + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn at_ident(&self, id: &str) -> bool {
+        self.peek().and_then(Token::ident) == Some(id)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn stmts(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while self.i < self.tokens.len() {
+            let before = self.i;
+            if self.eat_punct(";") {
+                continue; // empty statement
+            }
+            if let Some(stmt) = self.stmt() {
+                out.push(stmt);
+            }
+            if self.i == before {
+                // Guarantee progress whatever the token.
+                let t = self.tokens[self.i].clone();
+                let span = t.span;
+                self.i += 1;
+                out.push(Stmt::Expr(Expr::Verbatim {
+                    tokens: vec![t],
+                    span,
+                }));
+            }
+        }
+        out
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        // Outer attributes on statements/items: skip them.
+        while self.at_punct("#") {
+            self.i += 1;
+            if matches!(
+                self.peek().map(|t| &t.tok),
+                Some(Tok::Group(Delim::Bracket, _))
+            ) {
+                self.i += 1;
+            }
+        }
+        let first = self.peek()?;
+        if let Some(kw) = first.ident() {
+            if kw == "let" {
+                return Some(self.let_stmt());
+            }
+            if ITEM_KEYWORDS.contains(&kw) && !self.looks_like_expr_head() {
+                return Some(self.item_stmt());
+            }
+            // `pub` / `const fn` inside a block — also items.
+            if kw == "pub"
+                || (kw == "const" && self.peek_at(1).and_then(Token::ident) == Some("fn"))
+            {
+                return Some(self.item_stmt());
+            }
+        }
+        let e = self.expr();
+        self.eat_punct(";");
+        Some(Stmt::Expr(e))
+    }
+
+    /// `use`/`type`/`static` cannot head an expression; `struct` etc.
+    /// can't either. But `fn` could appear as `fn()` trait-object-ish
+    /// tokens in a cast — treat any of them as items (precision over
+    /// recall: they end up Verbatim either way).
+    fn looks_like_expr_head(&self) -> bool {
+        false
+    }
+
+    /// Consume an item through its terminating `;` or brace group.
+    fn item_stmt(&mut self) -> Stmt {
+        let start = self.i;
+        while self.i < self.tokens.len() {
+            let t = &self.tokens[self.i];
+            if t.is_punct(";") {
+                self.i += 1;
+                break;
+            }
+            if matches!(&t.tok, Tok::Group(Delim::Brace, _)) {
+                self.i += 1;
+                // `impl T { … }` ends at the brace; `struct X {}` too.
+                break;
+            }
+            self.i += 1;
+        }
+        Stmt::Item(self.tokens[start..self.i].to_vec())
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let span = self.tokens[self.i].span;
+        self.i += 1; // `let`
+                     // Pattern: tokens up to `:`, `=`, or `;` at this level.
+        let pat_start = self.i;
+        while self.i < self.tokens.len() {
+            let t = &self.tokens[self.i];
+            if t.is_punct(":") || t.is_punct("=") || t.is_punct(";") {
+                break;
+            }
+            // `let Some(x) = …` / `let (a, b) = …`: groups belong to
+            // the pattern.
+            self.i += 1;
+        }
+        let pat = &self.tokens[pat_start..self.i];
+        let idents = pattern_idents(pat);
+        let mutable = pat.iter().any(|t| t.ident() == Some("mut"));
+        let mut ty = None;
+        if self.eat_punct(":") {
+            let ty_start = self.i;
+            let mut depth = 0i64;
+            while self.i < self.tokens.len() {
+                let t = &self.tokens[self.i];
+                match &t.tok {
+                    Tok::Punct(p) if p == "<" => depth += 1,
+                    Tok::Punct(p) if p == "<<" => depth += 2,
+                    Tok::Punct(p) if p == ">" => depth -= 1,
+                    Tok::Punct(p) if p == ">>" => depth -= 2,
+                    Tok::Punct(p) if (p == "=" || p == ";") && depth <= 0 => break,
+                    _ => {}
+                }
+                self.i += 1;
+            }
+            ty = Some(self.tokens[ty_start..self.i].to_vec());
+        }
+        let mut init = None;
+        if self.eat_punct("=") {
+            init = Some(self.expr());
+            // `let … = init else { … };`
+            if self.at_ident("else") {
+                self.i += 1;
+                if matches!(
+                    self.peek().map(|t| &t.tok),
+                    Some(Tok::Group(Delim::Brace, _))
+                ) {
+                    self.i += 1;
+                }
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Let {
+            idents,
+            mutable,
+            ty,
+            init,
+            span,
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Full expression: assignment level (right-associative, lowest
+    /// precedence).
+    fn expr(&mut self) -> Expr {
+        let lhs = self.range_expr();
+        for op in [
+            "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+        ] {
+            if self.at_punct(op) {
+                let span = self.tokens[self.i].span;
+                self.i += 1;
+                let rhs = self.expr();
+                return Expr::Binary {
+                    op: op.to_string(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span,
+                };
+            }
+        }
+        lhs
+    }
+
+    fn range_expr(&mut self) -> Expr {
+        let lhs = self.binary_expr(0);
+        if self.at_punct("..") || self.at_punct("..=") {
+            let op = match &self.tokens[self.i].tok {
+                Tok::Punct(p) => p.clone(),
+                _ => unreachable!("checked punct"),
+            };
+            let span = self.tokens[self.i].span;
+            self.i += 1;
+            // Open-ended ranges: `a..` before `)` / `]` / `{` / `,`.
+            let rhs = if self.range_rhs_present() {
+                self.binary_expr(0)
+            } else {
+                Expr::Lit { span }
+            };
+            return Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn range_rhs_present(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => {
+                !(t.is_punct(",")
+                    || t.is_punct(";")
+                    || matches!(&t.tok, Tok::Group(Delim::Brace, _)))
+            }
+        }
+    }
+
+    /// Binary operators with a coarse precedence ladder.
+    fn binary_expr(&mut self, min_prec: u8) -> Expr {
+        let mut lhs = self.unary_expr();
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.tokens[self.i].span;
+            self.i += 1;
+            let rhs = self.binary_expr(prec + 1);
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn peek_binop(&self) -> Option<(String, u8)> {
+        let t = self.peek()?;
+        let Tok::Punct(p) = &t.tok else {
+            // `as` casts: treat as a binary-ish operator so the type
+            // tokens don't leak into the next statement.
+            if t.ident() == Some("as") {
+                return Some(("as".into(), 9));
+            }
+            return None;
+        };
+        let prec = match p.as_str() {
+            "||" => 1,
+            "&&" => 2,
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => 3,
+            "|" => 4,
+            "^" => 5,
+            // `&` only binds as binary when something operand-like came
+            // before; prefix `&` is handled by unary_expr, so reaching
+            // here means lhs exists.
+            "&" => 6,
+            "<<" | ">>" => 7,
+            "+" | "-" => 8,
+            "*" | "/" | "%" => 9,
+            _ => return None,
+        };
+        Some((p.clone(), prec))
+    }
+
+    fn unary_expr(&mut self) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Verbatim {
+                tokens: Vec::new(),
+                span: Span::default(),
+            };
+        };
+        let span = t.span;
+        // `&` / `&mut` reference.
+        if t.is_punct("&") || t.is_punct("&&") {
+            let double = t.is_punct("&&");
+            self.i += 1;
+            let mutable = if self.at_ident("mut") {
+                self.i += 1;
+                true
+            } else {
+                false
+            };
+            let inner = self.unary_expr();
+            let once = Expr::Reference {
+                mutable,
+                expr: Box::new(inner),
+                span,
+            };
+            return if double {
+                Expr::Reference {
+                    mutable: false,
+                    expr: Box::new(once),
+                    span,
+                }
+            } else {
+                once
+            };
+        }
+        if t.is_punct("!") || t.is_punct("-") || t.is_punct("*") {
+            let op = match &t.tok {
+                Tok::Punct(p) => p.clone(),
+                _ => unreachable!("checked punct"),
+            };
+            self.i += 1;
+            let inner = self.unary_expr();
+            return Expr::Unary {
+                op,
+                expr: Box::new(inner),
+                span,
+            };
+        }
+        self.postfix_expr()
+    }
+
+    /// Primary expression followed by any chain of `.method(..)`,
+    /// `.field`, `(call)`, `[index]`, `.await`, `?`.
+    fn postfix_expr(&mut self) -> Expr {
+        let mut e = self.primary_expr();
+        loop {
+            let Some(t) = self.peek() else { break };
+            if t.is_punct("?") {
+                self.i += 1;
+                continue; // `?` is transparent to dataflow
+            }
+            if t.is_punct(".") {
+                let span = t.span;
+                // `.ident`, `.ident(..)`, `.0`, `.await`
+                let Some(next) = self.peek_at(1) else {
+                    self.i += 1;
+                    continue;
+                };
+                match &next.tok {
+                    Tok::Ident(name) => {
+                        if name == "await" {
+                            self.i += 2;
+                            continue;
+                        }
+                        // Turbofish: `.collect::<Vec<_>>()`.
+                        let mut after = self.i + 2;
+                        if self.tokens.get(after).is_some_and(|t| t.is_punct("::")) {
+                            after += 1;
+                            let mut depth = 0i64;
+                            while let Some(t) = self.tokens.get(after) {
+                                match &t.tok {
+                                    Tok::Punct(p) if p == "<" => depth += 1,
+                                    Tok::Punct(p) if p == "<<" => depth += 2,
+                                    Tok::Punct(p) if p == ">" => depth -= 1,
+                                    Tok::Punct(p) if p == ">>" => depth -= 2,
+                                    _ => {}
+                                }
+                                after += 1;
+                                if depth <= 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        if let Some(Token {
+                            tok: Tok::Group(Delim::Paren, args),
+                            ..
+                        }) = self.tokens.get(after)
+                        {
+                            let args = parse_args(args);
+                            self.i = after + 1;
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                method: name.clone(),
+                                args,
+                                span,
+                            };
+                        } else {
+                            self.i = after;
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                member: name.clone(),
+                                span,
+                            };
+                        }
+                        continue;
+                    }
+                    Tok::Int(n) => {
+                        self.i += 2;
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            member: n.clone(),
+                            span,
+                        };
+                        continue;
+                    }
+                    Tok::Float(n) => {
+                        // `t.0.1` lexes the `0.1` as a float: two tuple
+                        // field accesses.
+                        self.i += 2;
+                        for part in n.split('.') {
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                member: part.to_string(),
+                                span,
+                            };
+                        }
+                        continue;
+                    }
+                    _ => {
+                        self.i += 1;
+                        continue;
+                    }
+                }
+            }
+            match &t.tok {
+                Tok::Group(Delim::Paren, args) => {
+                    let span = t.span;
+                    let args = parse_args(args);
+                    self.i += 1;
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                        span,
+                    };
+                }
+                Tok::Group(Delim::Bracket, idx) => {
+                    let span = t.span;
+                    let mut p = Parser { tokens: idx, i: 0 };
+                    let index = p.expr();
+                    self.i += 1;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        e
+    }
+
+    fn primary_expr(&mut self) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Verbatim {
+                tokens: Vec::new(),
+                span: Span::default(),
+            };
+        };
+        let span = t.span;
+        match &t.tok {
+            Tok::Int(_) | Tok::Float(_) | Tok::Str(_) | Tok::Lifetime(_) => {
+                self.i += 1;
+                Expr::Lit { span }
+            }
+            Tok::Group(Delim::Brace, inner) => {
+                self.i += 1;
+                Expr::Block(parse_block(inner))
+            }
+            Tok::Group(Delim::Paren, inner) => {
+                self.i += 1;
+                // Parenthesized expression or tuple; parse the first
+                // expression and keep the rest as further args of a
+                // verbatim tuple.
+                let parts = parse_args(inner);
+                match parts.len() {
+                    1 => parts.into_iter().next().expect("len checked"),
+                    _ => Expr::Verbatim {
+                        tokens: inner.clone(),
+                        span,
+                    },
+                }
+            }
+            Tok::Group(Delim::Bracket, inner) => {
+                self.i += 1;
+                Expr::Verbatim {
+                    tokens: inner.clone(),
+                    span,
+                }
+            }
+            Tok::Punct(p) if p == "|" || p == "||" => self.closure_expr(false),
+            Tok::Ident(id) => match id.as_str() {
+                "move" => {
+                    // `move |..| ..` or `move { .. }` (async blocks).
+                    if self
+                        .peek_at(1)
+                        .is_some_and(|t| t.is_punct("|") || t.is_punct("||"))
+                    {
+                        self.i += 1;
+                        self.closure_expr(true)
+                    } else {
+                        self.verbatim_run()
+                    }
+                }
+                "if" => self.if_expr(),
+                "match" => self.match_expr(),
+                "for" => self.for_expr(),
+                "while" => self.while_expr(),
+                "loop" => {
+                    self.i += 1;
+                    let body = self.brace_block();
+                    Expr::While {
+                        cond: Box::new(Expr::Lit { span }),
+                        bound: Vec::new(),
+                        body,
+                        span,
+                    }
+                }
+                "return" | "break" | "continue" => {
+                    let kw = id.clone();
+                    self.i += 1;
+                    let value = if kw != "continue" && self.expr_follows() {
+                        Some(Box::new(self.expr()))
+                    } else {
+                        None
+                    };
+                    Expr::Jump {
+                        keyword: kw,
+                        value,
+                        span,
+                    }
+                }
+                "unsafe" => {
+                    self.i += 1;
+                    if matches!(
+                        self.peek().map(|t| &t.tok),
+                        Some(Tok::Group(Delim::Brace, _))
+                    ) {
+                        let Some(Token {
+                            tok: Tok::Group(Delim::Brace, inner),
+                            ..
+                        }) = self.bump()
+                        else {
+                            unreachable!("peeked brace group");
+                        };
+                        Expr::Block(parse_block(inner))
+                    } else {
+                        self.verbatim_run()
+                    }
+                }
+                kw if NON_OPERAND_KEYWORDS.contains(&kw) => self.verbatim_run(),
+                _ => self.path_expr(),
+            },
+            _ => self.verbatim_run(),
+        }
+    }
+
+    /// `a::b::c`, possibly with turbofish segments skipped. A trailing
+    /// `{`-group is NOT consumed (struct literals vs. block ambiguity:
+    /// passes don't need struct-literal structure).
+    fn path_expr(&mut self) -> Expr {
+        let span = self.tokens[self.i].span;
+        let mut segments = Vec::new();
+        loop {
+            let Some(t) = self.peek() else { break };
+            if let Some(id) = t.ident() {
+                segments.push(id.to_string());
+                self.i += 1;
+            } else {
+                break;
+            }
+            if self.at_punct("::") {
+                self.i += 1;
+                // Turbofish or generic segment: `::<…>`.
+                if self.at_punct("<") {
+                    let mut depth = 0i64;
+                    while self.i < self.tokens.len() {
+                        match &self.tokens[self.i].tok {
+                            Tok::Punct(p) if p == "<" => depth += 1,
+                            Tok::Punct(p) if p == "<<" => depth += 2,
+                            Tok::Punct(p) if p == ">" => depth -= 1,
+                            Tok::Punct(p) if p == ">>" => depth -= 2,
+                            _ => {}
+                        }
+                        self.i += 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    // `::<T>` may chain on: `Vec::<u8>::new`.
+                    if self.at_punct("::") {
+                        self.i += 1;
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        Expr::Path { segments, span }
+    }
+
+    fn closure_expr(&mut self, is_move: bool) -> Expr {
+        let span = self.tokens[self.i].span;
+        let mut params = Vec::new();
+        if self.at_punct("||") {
+            self.i += 1;
+        } else {
+            self.i += 1; // opening `|`
+            let start = self.i;
+            while self.i < self.tokens.len() && !self.tokens[self.i].is_punct("|") {
+                self.i += 1;
+            }
+            params = pattern_idents(&self.tokens[start..self.i]);
+            self.i += 1; // closing `|`
+        }
+        // Optional return type `-> T`.
+        if self.at_punct("->") {
+            self.i += 1;
+            while self.i < self.tokens.len() {
+                if matches!(&self.tokens[self.i].tok, Tok::Group(Delim::Brace, _)) {
+                    break;
+                }
+                self.i += 1;
+            }
+        }
+        let body = self.expr();
+        Expr::Closure {
+            is_move,
+            params,
+            body: Box::new(body),
+            span,
+        }
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        let span = self.tokens[self.i].span;
+        self.i += 1; // `if`
+        let mut bound = Vec::new();
+        if self.at_ident("let") {
+            self.i += 1;
+            // Pattern up to `=` at this level.
+            let start = self.i;
+            while self.i < self.tokens.len() && !self.tokens[self.i].is_punct("=") {
+                self.i += 1;
+            }
+            bound = pattern_idents(&self.tokens[start..self.i]);
+            self.eat_punct("=");
+        }
+        let cond = self.cond_expr();
+        let then = self.brace_block();
+        let mut else_ = None;
+        if self.at_ident("else") {
+            self.i += 1;
+            if self.at_ident("if") {
+                else_ = Some(Box::new(self.if_expr()));
+            } else {
+                else_ = Some(Box::new(Expr::Block(self.brace_block())));
+            }
+        }
+        Expr::If {
+            cond: Box::new(cond),
+            bound,
+            then,
+            else_,
+            span,
+        }
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        let span = self.tokens[self.i].span;
+        self.i += 1; // `match`
+        let scrutinee = self.cond_expr();
+        let mut arms = Vec::new();
+        if let Some(Token {
+            tok: Tok::Group(Delim::Brace, inner),
+            ..
+        }) = self.peek()
+        {
+            arms = parse_arms(inner);
+            self.i += 1;
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            span,
+        }
+    }
+
+    fn for_expr(&mut self) -> Expr {
+        let span = self.tokens[self.i].span;
+        self.i += 1; // `for`
+        let start = self.i;
+        while self.i < self.tokens.len() && self.tokens[self.i].ident() != Some("in") {
+            self.i += 1;
+        }
+        let bound = pattern_idents(&self.tokens[start..self.i]);
+        if self.at_ident("in") {
+            self.i += 1;
+        }
+        let iter = self.cond_expr();
+        let body = self.brace_block();
+        Expr::ForLoop {
+            bound,
+            iter: Box::new(iter),
+            body,
+            span,
+        }
+    }
+
+    fn while_expr(&mut self) -> Expr {
+        let span = self.tokens[self.i].span;
+        self.i += 1; // `while`
+        let mut bound = Vec::new();
+        if self.at_ident("let") {
+            self.i += 1;
+            let start = self.i;
+            while self.i < self.tokens.len() && !self.tokens[self.i].is_punct("=") {
+                self.i += 1;
+            }
+            bound = pattern_idents(&self.tokens[start..self.i]);
+            self.eat_punct("=");
+        }
+        let cond = self.cond_expr();
+        let body = self.brace_block();
+        Expr::While {
+            cond: Box::new(cond),
+            bound,
+            body,
+            span,
+        }
+    }
+
+    /// Condition position: expressions end at the body brace. Struct
+    /// literals are illegal here in Rust, so a brace group terminates.
+    fn cond_expr(&mut self) -> Expr {
+        // Parse a normal expression, but primary_expr's path parser
+        // never consumes brace groups, and postfix stops at one — the
+        // grammar subset happens to match condition position already.
+        self.expr()
+    }
+
+    fn brace_block(&mut self) -> Block {
+        if let Some(Token {
+            tok: Tok::Group(Delim::Brace, inner),
+            span,
+        }) = self.peek()
+        {
+            let b = Block {
+                stmts: {
+                    let mut p = Parser {
+                        tokens: inner,
+                        i: 0,
+                    };
+                    p.stmts()
+                },
+                span: *span,
+            };
+            self.i += 1;
+            b
+        } else {
+            Block {
+                stmts: Vec::new(),
+                span: self.peek().map(|t| t.span).unwrap_or_default(),
+            }
+        }
+    }
+
+    fn expr_follows(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => !(t.is_punct(";") || t.is_punct(",") || t.is_punct(")")),
+        }
+    }
+
+    /// Consume one unmodelled construct: a macro invocation
+    /// (`name ! (…)`), struct-literal tail, or a single token.
+    fn verbatim_run(&mut self) -> Expr {
+        let start = self.i;
+        let span = self.tokens[start].span;
+        self.i += 1;
+        // Macro invocation: `ident ! group`.
+        if self.at_punct("!") {
+            self.i += 1;
+            if matches!(self.peek().map(|t| &t.tok), Some(Tok::Group(_, _))) {
+                self.i += 1;
+            }
+        }
+        Expr::Verbatim {
+            tokens: self.tokens[start..self.i].to_vec(),
+            span,
+        }
+    }
+}
+
+/// Split a call-argument token slice on top-level commas and parse each
+/// piece as an expression.
+fn parse_args(tokens: &[Token]) -> Vec<Expr> {
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    // Commas inside a closure's `|a, b|` parameter list separate
+    // params, not call arguments; when an argument *starts* with a
+    // closure head (`|` or `move |`), commas are ignored up to the
+    // closing `|`.
+    let mut params_until = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if i < params_until {
+            continue;
+        }
+        let arg_head = i == start || (i == start + 1 && tokens[start].ident() == Some("move"));
+        if arg_head && t.is_punct("|") {
+            if let Some(close) = tokens[i + 1..].iter().position(|t| t.is_punct("|")) {
+                params_until = i + 1 + close + 1;
+                continue;
+            }
+        }
+        match &t.tok {
+            Tok::Punct(p) if p == "<" => depth += 1,
+            Tok::Punct(p) if p == "<<" => depth += 2,
+            Tok::Punct(p) if p == ">" => depth -= 1,
+            Tok::Punct(p) if p == ">>" => depth -= 2,
+            Tok::Punct(p) if p == "," && depth <= 0 => {
+                if i > start {
+                    args.push(parse_one(&tokens[start..i]));
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < tokens.len() {
+        args.push(parse_one(&tokens[start..]));
+    }
+    args
+}
+
+/// Parse one expression from a complete token slice.
+pub fn parse_one(tokens: &[Token]) -> Expr {
+    let mut p = Parser { tokens, i: 0 };
+    let e = p.expr();
+    if p.i < tokens.len() {
+        // Trailing unparsed tokens (struct-literal tails, pattern-ish
+        // runs): keep them so token scans stay complete.
+        let span = tokens[p.i].span;
+        let rest = Expr::Verbatim {
+            tokens: tokens[p.i..].to_vec(),
+            span,
+        };
+        return Expr::Binary {
+            op: ";".into(),
+            lhs: Box::new(e),
+            rhs: Box::new(rest),
+            span,
+        };
+    }
+    e
+}
+
+/// Identifiers a pattern binds. Heuristic: lowercase-starting
+/// identifiers bind (`x`, `mut cfg`, `Some(inner)` → `inner`);
+/// uppercase ones are paths being matched (`Some`, `Ordering`). Path
+/// segments after `::` never bind, and `ref`/`mut`/`_` are skipped.
+pub fn pattern_idents(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_pattern_idents(tokens, &mut out);
+    out
+}
+
+fn collect_pattern_idents(tokens: &[Token], out: &mut Vec<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(id) => {
+                if id == "mut" || id == "ref" || id == "_" {
+                    continue;
+                }
+                // Skip path segments: preceded or followed by `::`, or a
+                // struct/tuple-variant name directly before a group.
+                let prev_sep = i > 0 && tokens[i - 1].is_punct("::");
+                let next_sep = tokens.get(i + 1).is_some_and(|t| t.is_punct("::"));
+                let heads_group =
+                    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Group(_, _)));
+                let binds = id
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_');
+                if binds && !prev_sep && !next_sep && !heads_group {
+                    if !out.contains(id) {
+                        out.push(id.clone());
+                    }
+                }
+            }
+            Tok::Group(_, inner) => collect_pattern_idents(inner, out),
+            _ => {}
+        }
+    }
+}
+
+/// Parse the arms of a match body: `pat [if guard] => expr [,]`.
+fn parse_arms(tokens: &[Token]) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Pattern (and optional guard): up to `=>` at this level.
+        let pat_start = i;
+        while i < tokens.len() && !tokens[i].is_punct("=>") {
+            i += 1;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let bound = pattern_idents(&tokens[pat_start..i]);
+        i += 1; // `=>`
+                // Body: a brace group, or an expression up to a top-level `,`.
+        let body_start = i;
+        if matches!(
+            tokens.get(i).map(|t| &t.tok),
+            Some(Tok::Group(Delim::Brace, _))
+        ) {
+            i += 1;
+        } else {
+            while i < tokens.len() && !tokens[i].is_punct(",") {
+                i += 1;
+            }
+        }
+        let body = parse_one(&tokens[body_start..i]);
+        arms.push(Arm { bound, body });
+        if tokens.get(i).is_some_and(|t| t.is_punct(",")) {
+            i += 1;
+        }
+    }
+    arms
+}
+
+// ---------------------------------------------------------------------------
+// Visitors and analyses.
+
+/// Depth-first walk over every expression in a block, including
+/// closure bodies, match arms, and control-flow branches.
+pub fn walk_block_exprs<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } => walk_exprs(e, f),
+            Stmt::Expr(e) => walk_exprs(e, f),
+            _ => {}
+        }
+    }
+}
+
+/// Depth-first walk over `e` and every sub-expression.
+pub fn walk_exprs<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Call { callee, args, .. } => {
+            walk_exprs(callee, f);
+            for a in args {
+                walk_exprs(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_exprs(recv, f);
+            for a in args {
+                walk_exprs(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_exprs(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_exprs(base, f);
+            walk_exprs(index, f);
+        }
+        Expr::Closure { body, .. } => walk_exprs(body, f),
+        Expr::Reference { expr, .. } | Expr::Unary { expr, .. } => walk_exprs(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_exprs(lhs, f);
+            walk_exprs(rhs, f);
+        }
+        Expr::Block(b) => walk_block_exprs(b, f),
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            walk_exprs(cond, f);
+            walk_block_exprs(then, f);
+            if let Some(e) = else_ {
+                walk_exprs(e, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_exprs(scrutinee, f);
+            for arm in arms {
+                walk_exprs(&arm.body, f);
+            }
+        }
+        Expr::ForLoop { iter, body, .. } => {
+            walk_exprs(iter, f);
+            walk_block_exprs(body, f);
+        }
+        Expr::While { cond, body, .. } => {
+            walk_exprs(cond, f);
+            walk_block_exprs(body, f);
+        }
+        Expr::Jump { value: Some(v), .. } => walk_exprs(v, f),
+        Expr::Jump { .. } | Expr::Path { .. } | Expr::Lit { .. } | Expr::Verbatim { .. } => {}
+    }
+}
+
+/// Free identifiers of an expression: every leading path segment read,
+/// minus identifiers bound by enclosing `let`s, closure params, loop
+/// and match patterns. `bound` seeds the outer scope (function
+/// parameters, typically). Verbatim token runs contribute their
+/// identifiers conservatively (over-approximating *free*, which is the
+/// safe direction for capture analysis).
+pub fn free_idents(e: &Expr, bound: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut free = BTreeSet::new();
+    collect_free(e, &mut bound.clone(), &mut free);
+    free
+}
+
+fn collect_free_block(b: &Block, bound: &mut BTreeSet<String>, free: &mut BTreeSet<String>) {
+    // Block scope: bindings introduced here die with the block.
+    let saved = bound.clone();
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { idents, init, .. } => {
+                // Initializer sees the *outer* scope (no recursion).
+                if let Some(init) = init {
+                    collect_free(init, bound, free);
+                }
+                for id in idents {
+                    bound.insert(id.clone());
+                }
+            }
+            Stmt::Expr(e) => collect_free(e, bound, free),
+            Stmt::Item(_) => {}
+        }
+    }
+    *bound = saved;
+}
+
+fn collect_free(e: &Expr, bound: &mut BTreeSet<String>, free: &mut BTreeSet<String>) {
+    match e {
+        Expr::Path { segments, .. } => {
+            // Only the first segment can be a local binding; `a::b` is
+            // a module/type path when `a` is not bound, which the
+            // lowercase heuristic covers well enough for captures.
+            if let Some(first) = segments.first() {
+                let local_looking = first
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                    && first != "self"
+                    && first != "crate"
+                    && first != "super";
+                if segments.len() == 1 && local_looking && !bound.contains(first) {
+                    free.insert(first.clone());
+                }
+            }
+        }
+        Expr::Closure { params, body, .. } => {
+            let saved = bound.clone();
+            for p in params {
+                bound.insert(p.clone());
+            }
+            collect_free(body, bound, free);
+            *bound = saved;
+        }
+        Expr::If {
+            cond,
+            bound: pat,
+            then,
+            else_,
+            ..
+        } => {
+            collect_free(cond, bound, free);
+            let saved = bound.clone();
+            for id in pat {
+                bound.insert(id.clone());
+            }
+            collect_free_block(then, bound, free);
+            *bound = saved;
+            if let Some(e) = else_ {
+                collect_free(e, bound, free);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            collect_free(scrutinee, bound, free);
+            for arm in arms {
+                let saved = bound.clone();
+                for id in &arm.bound {
+                    bound.insert(id.clone());
+                }
+                collect_free(&arm.body, bound, free);
+                *bound = saved;
+            }
+        }
+        Expr::ForLoop {
+            bound: pat,
+            iter,
+            body,
+            ..
+        } => {
+            collect_free(iter, bound, free);
+            let saved = bound.clone();
+            for id in pat {
+                bound.insert(id.clone());
+            }
+            collect_free_block(body, bound, free);
+            *bound = saved;
+        }
+        Expr::While {
+            cond,
+            bound: pat,
+            body,
+            ..
+        } => {
+            collect_free(cond, bound, free);
+            let saved = bound.clone();
+            for id in pat {
+                bound.insert(id.clone());
+            }
+            collect_free_block(body, bound, free);
+            *bound = saved;
+        }
+        Expr::Block(b) => collect_free_block(b, bound, free),
+        Expr::Verbatim { tokens, .. } => {
+            // Conservative: every lowercase identifier not bound counts
+            // as free.
+            crate::walk_tokens(tokens, &mut |t| {
+                if let Some(id) = t.ident() {
+                    let local_looking = id
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_');
+                    if local_looking && !bound.contains(id) && !is_keyword(id) {
+                        free.insert(id.to_string());
+                    }
+                }
+            });
+        }
+        // Structural recursion for everything else.
+        Expr::Call { callee, args, .. } => {
+            collect_free(callee, bound, free);
+            for a in args {
+                collect_free(a, bound, free);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            collect_free(recv, bound, free);
+            for a in args {
+                collect_free(a, bound, free);
+            }
+        }
+        Expr::Field { base, .. } => collect_free(base, bound, free),
+        Expr::Index { base, index, .. } => {
+            collect_free(base, bound, free);
+            collect_free(index, bound, free);
+        }
+        Expr::Reference { expr, .. } | Expr::Unary { expr, .. } => collect_free(expr, bound, free),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_free(lhs, bound, free);
+            collect_free(rhs, bound, free);
+        }
+        Expr::Jump { value: Some(v), .. } => collect_free(v, bound, free),
+        Expr::Jump { .. } | Expr::Lit { .. } => {}
+    }
+}
+
+fn is_keyword(id: &str) -> bool {
+    matches!(
+        id,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "false"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "dyn"
+            | "async"
+            | "await"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn block_of(body: &str) -> Block {
+        let tokens = lex(body).expect("test source lexes");
+        parse_block(&tokens)
+    }
+
+    #[test]
+    fn let_statement_carries_idents_type_and_init() {
+        let b = block_of("let mut x: u64 = f(1);");
+        let Stmt::Let {
+            idents,
+            mutable,
+            ty,
+            init,
+            ..
+        } = &b.stmts[0]
+        else {
+            panic!("expected let, got {:?}", b.stmts[0]);
+        };
+        assert_eq!(idents, &["x"]);
+        assert!(*mutable);
+        assert!(ty.as_ref().is_some_and(|t| t[0].ident() == Some("u64")));
+        assert!(matches!(init, Some(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn method_chain_parses_nested() {
+        let b = block_of("a.b().c(x, y);");
+        let Stmt::Expr(Expr::MethodCall {
+            method, recv, args, ..
+        }) = &b.stmts[0]
+        else {
+            panic!("expected method call, got {:?}", b.stmts[0]);
+        };
+        assert_eq!(method, "c");
+        assert_eq!(args.len(), 2);
+        assert!(matches!(&**recv, Expr::MethodCall { method, .. } if method == "b"));
+    }
+
+    #[test]
+    fn path_call_keeps_segments() {
+        let b = block_of("std::time::Instant::now();");
+        let Stmt::Expr(Expr::Call { callee, .. }) = &b.stmts[0] else {
+            panic!("expected call, got {:?}", b.stmts[0]);
+        };
+        let Expr::Path { segments, .. } = &**callee else {
+            panic!("expected path callee, got {callee:?}");
+        };
+        assert_eq!(segments, &["std", "time", "Instant", "now"]);
+    }
+
+    #[test]
+    fn closure_params_and_moveness() {
+        let b = block_of("run(move |i, j| i + j + captured);");
+        let Stmt::Expr(Expr::Call { args, .. }) = &b.stmts[0] else {
+            panic!("expected call, got {:?}", b.stmts[0]);
+        };
+        let Expr::Closure {
+            is_move,
+            params,
+            body,
+            ..
+        } = &args[0]
+        else {
+            panic!("expected closure, got {:?}", args[0]);
+        };
+        assert!(*is_move);
+        assert_eq!(params, &["i", "j"]);
+        let free = free_idents(body, &params.iter().cloned().collect());
+        assert_eq!(free.into_iter().collect::<Vec<_>>(), vec!["captured"]);
+    }
+
+    #[test]
+    fn free_idents_respect_let_and_match_bindings() {
+        let b = block_of("let x = outer; match opt { Some(y) => y + x, None => fallback }");
+        let mut free = BTreeSet::new();
+        let mut bound = BTreeSet::new();
+        collect_free_block(&b, &mut bound, &mut free);
+        let free: Vec<_> = free.into_iter().collect();
+        assert!(free.contains(&"outer".to_string()));
+        assert!(free.contains(&"opt".to_string()));
+        assert!(free.contains(&"fallback".to_string()));
+        assert!(!free.contains(&"x".to_string()), "let-bound");
+        assert!(!free.contains(&"y".to_string()), "arm-bound");
+    }
+
+    #[test]
+    fn if_let_binds_in_then_only() {
+        let b = block_of("if let Some(v) = source { v } else { v }");
+        let mut free = BTreeSet::new();
+        let mut bound = BTreeSet::new();
+        collect_free_block(&b, &mut bound, &mut free);
+        // The else-branch `v` is free (a mis-scoping in real code, but
+        // the analysis must reflect it).
+        assert!(free.contains(&"v".to_string()));
+        assert!(free.contains(&"source".to_string()));
+    }
+
+    #[test]
+    fn for_loop_binds_its_pattern() {
+        let b = block_of("for (i, item) in list { use_it(item, i, extra); }");
+        let mut free = BTreeSet::new();
+        let mut bound = BTreeSet::new();
+        collect_free_block(&b, &mut bound, &mut free);
+        assert!(free.contains(&"list".to_string()));
+        assert!(free.contains(&"extra".to_string()));
+        assert!(!free.contains(&"item".to_string()));
+        assert!(!free.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn tuple_field_chain_parses() {
+        let b = block_of("let a = t.0;");
+        let Stmt::Let { init: Some(e), .. } = &b.stmts[0] else {
+            panic!("expected let with init");
+        };
+        assert!(matches!(e, Expr::Field { member, .. } if member == "0"));
+    }
+
+    #[test]
+    fn reference_mutability_is_kept() {
+        let b = block_of("f(&mut state, &shared);");
+        let Stmt::Expr(Expr::Call { args, .. }) = &b.stmts[0] else {
+            panic!("expected call");
+        };
+        assert!(matches!(&args[0], Expr::Reference { mutable: true, .. }));
+        assert!(matches!(&args[1], Expr::Reference { mutable: false, .. }));
+    }
+
+    #[test]
+    fn macros_and_unknown_runs_become_verbatim_without_loss() {
+        let b = block_of("println!(\"x {}\", v); weird#tokens;");
+        // Every token survives somewhere in the AST.
+        let mut idents = Vec::new();
+        walk_block_exprs(&b, &mut |e| {
+            if let Expr::Verbatim { tokens, .. } = e {
+                crate::walk_tokens(tokens, &mut |t| {
+                    if let Some(id) = t.ident() {
+                        idents.push(id.to_string());
+                    }
+                });
+            }
+        });
+        assert!(idents.contains(&"println".to_string()) || !b.stmts.is_empty());
+    }
+
+    #[test]
+    fn real_world_shape_parses_without_panic() {
+        // A condensed version of the scheduler's run_indexed body.
+        let src = r#"
+            if count == 0 { return Vec::new(); }
+            let workers = jobs.get().min(count);
+            if workers == 1 { return (0..count).map(task).collect(); }
+            let injector = Injector::new(count);
+            let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut batch = Vec::new();
+                            while let Some(i) = injector.steal() {
+                                batch.push((i, task(i)));
+                            }
+                            batch
+                        })
+                    })
+                    .collect();
+            });
+            slots.into_iter().enumerate().collect()
+        "#;
+        let b = block_of(src);
+        assert!(b.stmts.len() >= 5);
+        // The nested closures must be discoverable.
+        let mut closures = 0usize;
+        walk_block_exprs(&b, &mut |e| {
+            if matches!(e, Expr::Closure { .. }) {
+                closures += 1;
+            }
+        });
+        assert!(closures >= 4, "found {closures} closures");
+    }
+}

@@ -14,14 +14,21 @@
 //! - Every token carries a [`Span`] (1-based line, 1-based column) so
 //!   diagnostics point at real source locations.
 //!
-//! Expression grammar is deliberately *not* modelled: the analyzer's
-//! passes pattern-match token sequences inside function bodies, which is
-//! exactly the granularity a structural linter for this codebase needs
-//! (type names, call chains, operators) without a full parser's surface.
+//! On top of the item skeleton, [`expr`] parses function bodies into a
+//! statement/expression AST (blocks, `let`s, calls, method chains,
+//! closures, paths, field accesses, control flow — enough for dataflow,
+//! not full Rust); anything unmodelled degrades to verbatim token runs
+//! so token-level scans keep full coverage. [`free_idents`] computes
+//! closure-capture sets over that AST.
 
+mod expr;
 mod lex;
 mod parse;
 
+pub use expr::{
+    free_idents, parse_block, parse_one, pattern_idents, walk_block_exprs, walk_exprs, Arm, Block,
+    Expr, Stmt,
+};
 pub use lex::{lex, Delim, Error, Span, Tok, Token};
 pub use parse::{parse_file, Attr, File, Item, ItemFn, ItemImpl, ItemMod, Param, Signature};
 
