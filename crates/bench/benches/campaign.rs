@@ -66,6 +66,7 @@ fn campaign_matrix(c: &mut Criterion) {
                     &suite,
                     &EngineOptions {
                         jobs: Some(jobs),
+                        shards: 0,
                         cache: None,
                         sanitize: false,
                         measure: false,
@@ -84,6 +85,7 @@ fn campaign_matrix(c: &mut Criterion) {
         &suite,
         &EngineOptions {
             jobs: Some(many),
+            shards: 0,
             cache: Some(&scratch.cache),
             sanitize: false,
             measure: false,
@@ -99,6 +101,7 @@ fn campaign_matrix(c: &mut Criterion) {
                     &suite,
                     &EngineOptions {
                         jobs: Some(jobs),
+                        shards: 0,
                         cache: Some(&scratch.cache),
                         sanitize: false,
                         measure: false,

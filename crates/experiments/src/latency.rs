@@ -29,20 +29,18 @@ pub fn run(ctx: &Ctx) {
     );
     let mut rows = Vec::new();
     for model in ALL_MODELS {
-        // Merge histograms across benchmarks for the per-model line.
-        let mut hist = dozznoc_noc::LatencyHistogram::default();
-        let mut mean = 0.0f64;
-        let mut max: f64 = 0.0;
-        let mut n = 0.0f64;
+        // One merged RunStats per model: sums, maxima and histograms
+        // fold benchmark-by-benchmark, so the mean is packet-weighted
+        // (a mean of per-benchmark means would over-weight short
+        // benchmarks) and the max/percentiles come from one
+        // distribution.
+        let mut stats = dozznoc_noc::RunStats::default();
         for r in results.iter().filter(|r| r.model == model) {
-            hist.merge(&r.report.stats.net_latency_hist);
-            mean += r.report.stats.avg_net_latency_ns();
-            max = max.max(
-                r.report.stats.net_latency_max_ticks as f64 / dozznoc_types::TICKS_PER_NS as f64,
-            );
-            n += 1.0;
+            stats.merge(&r.report.stats);
         }
-        let mean = mean / n.max(1.0);
+        let mean = stats.avg_net_latency_ns();
+        let max = stats.net_latency_max_ticks as f64 / dozznoc_types::TICKS_PER_NS as f64;
+        let hist = &stats.net_latency_hist;
         println!(
             "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
             model.label(),

@@ -33,6 +33,7 @@ pub mod observation;
 pub mod policy;
 pub mod router;
 pub mod sanitizer;
+pub mod shard;
 pub mod stats;
 pub mod telemetry;
 
@@ -44,5 +45,6 @@ pub use policy::{AlwaysMode, PowerPolicy};
 pub use sanitizer::{
     InvariantViolation, SanitizerConfig, SanitizerReport, SimSanitizer, ViolationKind,
 };
+pub use shard::run_sharded;
 pub use stats::{RouterSummary, RunReport, RunStats, REPORT_FORMAT_VERSION};
 pub use telemetry::{DecisionTrace, EpochSample, JsonlSink, NullSink, Telemetry, TimelineSink};

@@ -1,0 +1,580 @@
+//! The spatially-sharded intra-run engine.
+//!
+//! [`run_sharded`] partitions the mesh into contiguous spatial shards
+//! (a [`ShardPlan`]) and runs the *same* tick-edge-settled simulation
+//! loop as [`Network::run`] on one worker thread per shard, each
+//! restricted (via [`Network::restrict`]) to firing, admitting for, and
+//! billing only its own router range.
+//!
+//! ## The conservative time-window barrier
+//!
+//! Ticks of the 18 GHz base clock are the simulation's finest time
+//! unit, and `NocConfig::lookahead_ticks ≥ 1` guarantees that a flit or
+//! credit emitted at tick *t* is first visible downstream at
+//! `t + lookahead ≥ t + 1`. Each **window** is therefore the span from
+//! one global event tick to the next: within it, every shard can fire
+//! its own routers against *settled* state (end-of-previous-window
+//! snapshots) with no possibility of seeing — or missing — a same-window
+//! cross-shard effect. Two barriers bound each window:
+//!
+//! * **boundary A** — all shards have fired; every cross-shard message
+//!   for this window is posted to its per-edge mailbox;
+//! * **boundary B** — all shards have settled, exported fresh boundary
+//!   snapshots, and published their `(next-event, in-flight)` pulse.
+//!
+//! Between B and the next A each shard installs its halo snapshots and
+//! reduces the pulses to the *same* global verdict (done / livelocked /
+//! advance to tick `min(next)`), so control flow never diverges across
+//! workers.
+//!
+//! ## Why the result is bit-identical to the sequential engine
+//!
+//! * The sequential loop is the one-shard instance of the same phased
+//!   code: fire emits deferred [`Msg`]s, settlement applies them in
+//!   `(phase, src_key, seq)` key order. Shards merge their inbound
+//!   mailboxes and sort by the same key, reproducing exactly the order
+//!   the sequential loop emits in (keys are globally unique: phase 0 is
+//!   keyed by global packet index, phase 1 by firing-router index).
+//! * Every counter and ledger entry is billed by exactly one owner
+//!   shard, so the final [`Network::absorb`] reduce adds each real
+//!   value to a still-default one — integer sums are trivially exact
+//!   and each f64 sum is `0.0 + x`, which is bitwise `x`.
+//! * The global next-event is `min` over shard-local minima plus the
+//!   (identically computed) next injection time — the same value the
+//!   sequential heap produces.
+//!
+//! Telemetry and the sanitizer hook the *sequential* loop; callers that
+//! need either (or a policy whose learned state is shared across
+//! routers) fall back to one shard. The engine-selection layer in
+//! `dozznoc-core` enforces this.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dozznoc_power::MlOverhead;
+use dozznoc_topology::{ShardPlan, DIR_PORTS};
+use dozznoc_traffic::Trace;
+use dozznoc_types::RouterId;
+
+use crate::config::NocConfig;
+use crate::network::{Msg, Network, SimError, SnapMeta};
+use crate::policy::PowerPolicy;
+use crate::stats::RunReport;
+use crate::telemetry::NullSink;
+
+/// Fixed capacity of a snapshot export block's per-VC flag array.
+/// Large enough for both paper topologies (mesh: 5 ports × 4 VCs = 20,
+/// cmesh: 8 × 4 = 32); [`run_sharded`] asserts the bound so a future
+/// topology cannot silently truncate.
+const MAX_SNAP_SLOTS: usize = 32;
+
+/// One boundary router's settled snapshot, shipped across a shard seam
+/// at window boundary B.
+#[derive(Clone, Copy)]
+struct SnapExport {
+    /// Router index the snapshot describes.
+    router: u32,
+    /// Settled per-router metadata.
+    meta: SnapMeta,
+    /// Settled per-VC flags, `slots` of them used.
+    vc: [u8; MAX_SNAP_SLOTS],
+}
+
+/// A shard's per-window contribution to the global reduction.
+#[derive(Clone, Copy, Default)]
+struct Pulse {
+    /// Earliest owned router-cycle deadline (min-reduced with the next
+    /// injection time, which every shard computes identically).
+    local_next: u64,
+    /// Flits physically inside this shard (NI queues + buffers), after
+    /// settlement.
+    in_flight: u64,
+}
+
+/// Sense-reversing spin-then-yield barrier for the per-window
+/// rendezvous.
+///
+/// `std::sync::Barrier` parks threads through a mutex/condvar pair;
+/// with two rendezvous per window and tens of thousands of windows per
+/// run, wake-up latency would dominate the very speedup sharding is
+/// for. Windows are short, so a bounded spin catches the common case;
+/// past the bound the waiter yields its timeslice, which keeps the
+/// barrier from livelocking the peer off the CPU when the host has
+/// fewer cores than shards.
+///
+/// Orderings: arrivals publish their pre-barrier writes with an
+/// `AcqRel` fetch-add on `count` (the last arrival thereby *acquires*
+/// every earlier arrival's writes), and the release happens through a
+/// `Release` store of `generation` that waiters `Acquire`-load — so
+/// everything written before the barrier by any thread happens-before
+/// everything after it on every thread. No `Relaxed` anywhere.
+struct SpinBarrier {
+    /// Arrivals in the current generation.
+    count: AtomicUsize,
+    /// Generation counter; waiters spin until it moves.
+    generation: AtomicUsize,
+    /// Thread count per rendezvous.
+    members: usize,
+    /// Set by a panicking worker's drop guard so the surviving workers
+    /// panic out of their spin loops instead of hanging the process.
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(members: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            members,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
+            // Last arrival: reset the count *before* releasing the
+            // generation, so a released waiter re-entering the next
+            // rendezvous never observes the stale count.
+            self.count.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    panic!("shard barrier poisoned by a panicked worker");
+                }
+                // Bounded spin first (the peer is typically one short
+                // window behind), then yield so an oversubscribed host
+                // can schedule the stragglers this waiter is waiting on.
+                if spins < 128 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("shard barrier poisoned by a panicked worker");
+        }
+    }
+}
+
+/// Drop guard: a worker unwinding past this poisons the barrier so its
+/// peers panic out of their spins and `thread::scope` can propagate the
+/// original panic instead of deadlocking.
+struct PoisonOnPanic<'a>(&'a SpinBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Read-only state shared by every shard worker.
+struct Shared<'a> {
+    cfg: NocConfig,
+    trace: &'a Trace,
+    plan: &'a ShardPlan,
+    /// `exports[k][j]`: routers shard `k` owns whose snapshots shard
+    /// `j` reads (k's boundary routers adjacent to j's range).
+    exports: &'a [Vec<Vec<usize>>],
+    /// Per-router snapshot VC slots (`ports × vcs`).
+    slots: usize,
+    barrier: &'a SpinBarrier,
+    /// `mail[src][dst]`: bounded-by-construction per-edge message
+    /// channel, drained in fixed `(src)` order at boundary A.
+    mail: &'a [Vec<Mutex<Vec<Msg>>>],
+    /// `snap_mail[src][dst]`: boundary snapshots exported at B.
+    snap_mail: &'a [Vec<Mutex<Vec<SnapExport>>>],
+    pulses: &'a [Mutex<Pulse>],
+}
+
+/// What a worker hands back: its restricted network (owned accounting
+/// settled and residency flushed), the policy's display name, and the
+/// run verdict (identical on every shard by construction).
+struct ShardOutcome {
+    net: Network,
+    policy_name: String,
+    result: Result<(), SimError>,
+}
+
+/// Run `trace` under per-shard instances of `policy_build` on `shards`
+/// spatial shards, bit-identical to [`Network::run`] with the policy
+/// from `policy_build(0)`.
+///
+/// `policy_build(k)` is called once *inside* worker `k`; policies whose
+/// state is per-router (all built-in non-shared policies) produce
+/// identical decisions to a single sequential instance because each
+/// router's observations reach exactly one instance. Policies with
+/// cross-router shared state must not be run sharded — the
+/// engine-selection layer checks `PolicyFactory::shardable`.
+///
+/// A plan that collapses to one shard (request ≤ 1, or more state than
+/// routers clamped down to 1) short-circuits to the sequential engine.
+pub fn run_sharded(
+    cfg: NocConfig,
+    trace: &Trace,
+    shards: usize,
+    policy_build: &(dyn Fn(usize) -> Box<dyn PowerPolicy> + Sync),
+) -> Result<RunReport, SimError> {
+    let plan = ShardPlan::new(&cfg.topology, shards);
+    let s = plan.num_shards();
+    if s == 1 {
+        // One shard IS the sequential engine — same code path, zero
+        // barrier or mailbox overhead.
+        let mut policy = policy_build(0);
+        return Network::new(cfg).run(trace, &mut *policy);
+    }
+    assert_eq!(
+        trace.num_cores,
+        cfg.topology.num_cores(),
+        "trace core count does not match the topology"
+    );
+    let slots = cfg.topology.ports_per_router() * cfg.vcs_per_port;
+    assert!(
+        slots <= MAX_SNAP_SLOTS,
+        "snapshot export block too small: {slots} VC slots per router (max {MAX_SNAP_SLOTS})"
+    );
+
+    // Who ships which snapshots to whom: shard k's boundary routers,
+    // filtered to the ones actually adjacent to shard j. With
+    // contiguous row-major shards only seam neighbors get entries, so
+    // the exchange volume is the seam perimeter, not the shard area.
+    let topo = cfg.topology;
+    let exports: Vec<Vec<Vec<usize>>> = (0..s)
+        .map(|k| {
+            let boundary = plan.boundary(&topo, k);
+            (0..s)
+                .map(|j| {
+                    if j == k {
+                        return Vec::new();
+                    }
+                    let jr = plan.range(j);
+                    boundary
+                        .iter()
+                        .map(|r| r.idx())
+                        .filter(|&r| {
+                            DIR_PORTS
+                                .iter()
+                                .filter_map(|&d| topo.neighbor(RouterId(r as u16), d))
+                                .any(|n| jr.contains(&n.idx()))
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let barrier = SpinBarrier::new(s);
+    let mail: Vec<Vec<Mutex<Vec<Msg>>>> = (0..s)
+        .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let snap_mail: Vec<Vec<Mutex<Vec<SnapExport>>>> = (0..s)
+        .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let pulses: Vec<Mutex<Pulse>> = (0..s).map(|_| Mutex::new(Pulse::default())).collect();
+
+    let shared = Shared {
+        cfg,
+        trace,
+        plan: &plan,
+        exports: &exports,
+        slots,
+        barrier: &barrier,
+        mail: &mail,
+        snap_mail: &snap_mail,
+        pulses: &pulses,
+    };
+
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s)
+            .map(|k| {
+                let shared = &shared;
+                scope.spawn(move || shard_worker(k, shared, policy_build))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Reduce in fixed shard order. Every worker derived the same
+    // verdict from the same pulses, so the lead shard speaks for all.
+    let mut it = outcomes.into_iter();
+    let lead = it.next().expect("plan has ≥ 1 shard");
+    lead.result?;
+    let mut net = lead.net;
+    for o in it {
+        debug_assert!(o.result.is_ok(), "shard verdicts diverged");
+        net.absorb(&o.net);
+    }
+    Ok(net.build_report(&lead.policy_name, &trace.name))
+}
+
+/// The per-shard simulation loop: the sequential loop with settlement
+/// split across the two window boundaries.
+fn shard_worker(
+    k: usize,
+    sh: &Shared<'_>,
+    policy_build: &(dyn Fn(usize) -> Box<dyn PowerPolicy> + Sync),
+) -> ShardOutcome {
+    let _poison = PoisonOnPanic(sh.barrier);
+    let s = sh.plan.num_shards();
+    let mut policy = policy_build(k);
+    let ml_overhead = policy.ml_features().map(MlOverhead::for_features);
+    let mut tel = NullSink;
+    let mut net = Network::new(sh.cfg);
+    net.restrict(sh.plan.range(k));
+    let packets = sh.trace.packets();
+    net.prepare_packets(packets.len());
+    let mut next_pkt = 0usize;
+    let mut inbound: Vec<Msg> = Vec::new();
+
+    let result = loop {
+        // Fire phase: admissions and owned router cycles for this
+        // window, against settled (previous-window) snapshots only.
+        net.admit(packets, &mut next_pkt);
+        net.fire(&mut *policy, ml_overhead.as_ref(), &mut tel);
+
+        // Partition the outbox by each effect's owning shard: own
+        // effects stay local, foreign ones go to the per-edge channel.
+        for m in net.outbox.drain(..) {
+            let dst = sh.plan.shard_of(m.effect.target() as usize);
+            if dst == k {
+                inbound.push(m);
+            } else {
+                sh.mail[k][dst]
+                    .lock()
+                    .expect("shard mailbox poisoned")
+                    .push(m);
+            }
+        }
+
+        // Boundary A: all shards fired; all messages are posted.
+        sh.barrier.wait();
+
+        // Settle phase: drain the per-edge channels in fixed source
+        // order, restore the global settlement order (keys are
+        // globally unique, so the unstable sort is total), and apply.
+        for src in 0..s {
+            if src != k {
+                inbound.append(&mut sh.mail[src][k].lock().expect("shard mailbox poisoned"));
+            }
+        }
+        inbound.sort_unstable_by_key(|m| m.key());
+        net.settle_msgs(&inbound);
+        inbound.clear();
+
+        // Export fresh boundary snapshots for every seam neighbor.
+        for (j, list) in sh.exports[k].iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let mut out = sh.snap_mail[k][j].lock().expect("snap mailbox poisoned");
+            out.clear();
+            for &r in list {
+                let mut vc = [0u8; MAX_SNAP_SLOTS];
+                let base = r * sh.slots;
+                vc[..sh.slots].copy_from_slice(&net.snap_vc[base..base + sh.slots]);
+                out.push(SnapExport {
+                    router: r as u32,
+                    meta: net.snap_meta[r],
+                    vc,
+                });
+            }
+        }
+
+        // Publish this shard's pulse. The next-injection term is
+        // computed identically by every shard, so min-reducing it from
+        // each pulse is harmless and keeps the reduce branch-free.
+        let mut local_next = net.local_next_event();
+        if next_pkt < packets.len() {
+            local_next = local_next.min(packets[next_pkt].inject_time.ticks());
+        }
+        *sh.pulses[k].lock().expect("shard pulse poisoned") = Pulse {
+            local_next,
+            in_flight: net.in_flight,
+        };
+
+        // Boundary B: all shards settled; snapshots and pulses are out.
+        sh.barrier.wait();
+
+        // Install halo snapshots (settled state of foreign neighbors).
+        for src in 0..s {
+            if src == k {
+                continue;
+            }
+            let inbox = sh.snap_mail[src][k].lock().expect("snap mailbox poisoned");
+            for e in inbox.iter() {
+                let r = e.router as usize;
+                net.snap_meta[r] = e.meta;
+                let base = r * sh.slots;
+                net.snap_vc[base..base + sh.slots].copy_from_slice(&e.vc[..sh.slots]);
+            }
+        }
+
+        // Reduce the pulses to the global verdict — same inputs, same
+        // arithmetic, same verdict on every shard.
+        let mut global_next = u64::MAX;
+        let mut in_flight = 0u64;
+        for p in sh.pulses {
+            let p = *p.lock().expect("shard pulse poisoned");
+            global_next = global_next.min(p.local_next);
+            in_flight += p.in_flight;
+        }
+
+        if next_pkt == packets.len() && in_flight == 0 {
+            break Ok(());
+        }
+        if net.now >= sh.cfg.max_ticks {
+            break Err(SimError::Livelock { in_flight });
+        }
+        debug_assert!(global_next > net.now, "time must advance");
+        net.now = global_next;
+    };
+
+    // Bill residual residency for owned routers at the final clock so
+    // the merged ledger matches a sequential run's flush.
+    net.flush_residency();
+    ShardOutcome {
+        net,
+        policy_name: policy.name().to_string(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AlwaysMode;
+    use dozznoc_topology::Topology;
+    use dozznoc_traffic::trace::packet;
+    use dozznoc_types::{Mode, PacketKind};
+
+    /// Seam-crossing mixed traffic: every packet traverses most of the
+    /// mesh, so 2- and 4-shard plans all see cross-shard transfers,
+    /// secures and wake punches.
+    fn crossing_trace(num_cores: usize, packets: usize) -> Trace {
+        let pkts = (0..packets as u16)
+            .map(|i| {
+                let src = i % num_cores as u16;
+                let dst = (num_cores as u16 - 1) - src;
+                let kind = if i % 3 == 0 {
+                    PacketKind::Response
+                } else {
+                    PacketKind::Request
+                };
+                packet(src, dst, kind, 1.0 + f64::from(i) * 5.0)
+            })
+            .collect();
+        Trace::new("shard-unit", num_cores, pkts)
+    }
+
+    /// Bit-exact comparison: Rust prints every f64 as the shortest
+    /// round-tripping string, so JSON equality is bit equality.
+    fn ser(r: &RunReport) -> String {
+        serde_json::to_string(r).expect("reports serialize")
+    }
+
+    fn sequential(cfg: NocConfig, trace: &Trace, gating: bool) -> Result<RunReport, SimError> {
+        let mut policy = build_policy(gating)(0);
+        Network::new(cfg).run(trace, &mut *policy)
+    }
+
+    fn build_policy(gating: bool) -> impl Fn(usize) -> Box<dyn PowerPolicy> + Sync {
+        move |_| {
+            let p = AlwaysMode::new(Mode::M5);
+            Box::new(if gating { p.with_gating() } else { p })
+        }
+    }
+
+    #[test]
+    fn sharded_mesh_matches_sequential_bit_for_bit() {
+        let cfg = NocConfig::paper(Topology::mesh8x8());
+        let trace = crossing_trace(64, 48);
+        for gating in [false, true] {
+            let seq = ser(&sequential(cfg, &trace, gating).expect("sequential completes"));
+            for shards in [2, 4] {
+                let sharded = run_sharded(cfg, &trace, shards, &build_policy(gating))
+                    .expect("sharded run completes");
+                assert_eq!(seq, ser(&sharded), "shards={shards} gating={gating}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_router_shards_match_sequential() {
+        // 99 shards clamps to 16 single-router shards on the cmesh:
+        // every link is a seam, every transfer crosses the channel.
+        let cfg = NocConfig::paper(Topology::cmesh4x4());
+        let trace = crossing_trace(64, 32);
+        let seq = ser(&sequential(cfg, &trace, true).expect("sequential completes"));
+        let sharded =
+            run_sharded(cfg, &trace, 99, &build_policy(true)).expect("sharded run completes");
+        assert_eq!(seq, ser(&sharded));
+    }
+
+    #[test]
+    fn shards_without_injectors_stay_in_lockstep() {
+        // All traffic originates at router 0: shards 1–3 admit nothing
+        // and only ever receive flits through the seam channels (their
+        // gated routers wake from cross-shard punches alone).
+        let cfg = NocConfig::paper(Topology::mesh8x8());
+        let pkts = (0..8u16)
+            .map(|i| packet(0, 63 - i, PacketKind::Request, 1.0 + f64::from(i) * 40.0))
+            .collect();
+        let trace = Trace::new("one-injector", 64, pkts);
+        let seq = sequential(cfg, &trace, true).expect("sequential completes");
+        assert_eq!(seq.stats.packets_delivered, 8);
+        let sharded =
+            run_sharded(cfg, &trace, 4, &build_policy(true)).expect("sharded run completes");
+        assert_eq!(ser(&seq), ser(&sharded));
+    }
+
+    #[test]
+    fn livelock_verdict_is_identical_across_engines() {
+        // The window boundary lands exactly on max_ticks: both engines
+        // must admit the packet, fire once, and then abort with the
+        // same in-flight count instead of draining or over-running.
+        let mut cfg = NocConfig::paper(Topology::mesh8x8());
+        cfg.max_ticks = 180; // == ceil(10 ns × 18 ticks/ns)
+        let trace = Trace::new("edge", 64, vec![packet(0, 63, PacketKind::Request, 10.0)]);
+        let seq = sequential(cfg, &trace, false).expect_err("cannot drain in zero ticks");
+        let sharded = run_sharded(cfg, &trace, 4, &build_policy(false))
+            .expect_err("cannot drain in zero ticks");
+        assert_eq!(seq, sharded);
+        assert_eq!(sharded, SimError::Livelock { in_flight: 1 });
+    }
+
+    #[test]
+    fn one_shard_takes_the_sequential_fast_path() {
+        // Plan collapse (request ≤ 1) must short-circuit: identical
+        // bytes, and no panic from the degenerate barrier setup.
+        let cfg = NocConfig::paper(Topology::mesh8x8());
+        let trace = crossing_trace(64, 8);
+        let seq = ser(&sequential(cfg, &trace, true).expect("sequential completes"));
+        for shards in [0, 1] {
+            let sharded =
+                run_sharded(cfg, &trace, shards, &build_policy(true)).expect("run completes");
+            assert_eq!(seq, ser(&sharded), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_terminates_immediately() {
+        let cfg = NocConfig::paper(Topology::mesh8x8());
+        let trace = Trace::new("empty", 64, Vec::new());
+        let report = run_sharded(cfg, &trace, 4, &build_policy(false)).expect("run completes");
+        assert_eq!(report.stats.packets_delivered, 0);
+        assert_eq!(
+            ser(&sequential(cfg, &trace, false).expect("sequential completes")),
+            ser(&report)
+        );
+    }
+}

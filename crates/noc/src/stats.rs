@@ -17,7 +17,7 @@ use crate::histogram::LatencyHistogram;
 /// * an *intentional* behavioral change lands (one that re-blesses the
 ///   `tests/determinism.rs` goldens) — a stale cache entry from the
 ///   previous behavior would otherwise keep masquerading as current.
-pub const REPORT_FORMAT_VERSION: u32 = 1;
+pub const REPORT_FORMAT_VERSION: u32 = 2;
 
 /// Counters accumulated over one run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -57,6 +57,33 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Fold another run's counters into this one.
+    ///
+    /// Every field is a sum, a max, or a mergeable distribution, so the
+    /// merge is exact and order-independent: partitioning a run's
+    /// deliveries arbitrarily and merging the partial `RunStats` yields
+    /// the whole run's stats bit-for-bit. This is the shard reducer of
+    /// the sharded engine and the aggregation primitive of campaign
+    /// summaries.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.packets_injected += other.packets_injected;
+        self.packets_delivered += other.packets_delivered;
+        self.flits_delivered += other.flits_delivered;
+        self.latency_sum_ticks += other.latency_sum_ticks;
+        self.latency_max_ticks = self.latency_max_ticks.max(other.latency_max_ticks);
+        self.net_latency_sum_ticks += other.net_latency_sum_ticks;
+        self.net_latency_max_ticks = self.net_latency_max_ticks.max(other.net_latency_max_ticks);
+        self.net_latency_hist.merge(&other.net_latency_hist);
+        if other.last_delivery.ticks() > self.last_delivery.ticks() {
+            self.last_delivery = other.last_delivery;
+        }
+        for (a, b) in self.mode_selections.iter_mut().zip(&other.mode_selections) {
+            *a += b;
+        }
+        self.epochs += other.epochs;
+        self.secure_underflows += other.secure_underflows;
+    }
+
     /// Mean packet latency in nanoseconds.
     pub fn avg_latency_ns(&self) -> f64 {
         if self.packets_delivered == 0 {
@@ -197,6 +224,56 @@ mod tests {
         assert_eq!(s.avg_latency_ns(), 0.0);
         assert_eq!(s.throughput_flits_per_ns(), 0.0);
         assert_eq!(s.mode_distribution(), [0.0; 5]);
+    }
+
+    #[test]
+    fn merge_of_parts_equals_whole() {
+        // Split a synthetic run's deliveries into two partitions and
+        // merge: every field must reassemble exactly.
+        let mut whole = RunStats::default();
+        let mut a = RunStats::default();
+        let mut b = RunStats::default();
+        for i in 0..100u64 {
+            let lat = 17 + i * 13;
+            let part = if i % 3 == 0 { &mut a } else { &mut b };
+            for s in [&mut whole, part] {
+                s.packets_injected += 1;
+                s.packets_delivered += 1;
+                s.flits_delivered += 5;
+                s.latency_sum_ticks += lat as u128;
+                s.latency_max_ticks = s.latency_max_ticks.max(lat);
+                s.net_latency_sum_ticks += (lat - 7) as u128;
+                s.net_latency_max_ticks = s.net_latency_max_ticks.max(lat - 7);
+                s.net_latency_hist.record(lat - 7);
+                s.last_delivery = SimTime::from_ticks(1000 + i);
+                s.mode_selections[(i % 5) as usize] += 1;
+                s.epochs += 1;
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // Merge order must not matter either.
+        let mut flipped = b;
+        flipped.merge(&a);
+        assert_eq!(flipped, whole);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut s = RunStats {
+            packets_delivered: 3,
+            latency_max_ticks: 99,
+            ..Default::default()
+        };
+        s.net_latency_hist.record(42);
+        s.last_delivery = SimTime::from_ticks(7);
+        let mut empty = RunStats::default();
+        empty.merge(&s);
+        assert_eq!(empty, s);
+        let before = s.clone();
+        s.merge(&RunStats::default());
+        assert_eq!(s, before);
     }
 
     #[test]

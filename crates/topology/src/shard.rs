@@ -1,0 +1,165 @@
+//! Spatial shard partitioning for the intra-run parallel engine.
+//!
+//! A [`ShardPlan`] splits a grid's routers into contiguous, balanced
+//! blocks of row-major indices. Row-major ids make a contiguous index
+//! range a contiguous *spatial* band: on the 8×8 mesh a 4-shard plan is
+//! four 2-row blocks, and on the 4×4 cmesh each block is a band of
+//! whole router clusters (every router keeps all of its attached
+//! cores). Contiguity is what keeps the cross-shard surface small —
+//! only the seam rows exchange flits — and balanced sizes are what
+//! keeps the conservative time-window barrier from idling on a
+//! straggler shard.
+//!
+//! The plan is purely a partition of router indices; the engine derives
+//! everything else (core ownership, packet ownership, boundary sets)
+//! from it through the [`Topology`].
+
+use crate::grid::Topology;
+use dozznoc_types::RouterId;
+
+/// A partition of a topology's routers into contiguous index ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Exclusive end index of each shard; shard `k` owns
+    /// `ends[k-1]..ends[k]` (with `ends[-1]` read as 0).
+    ends: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partition `topo`'s routers into `shards` contiguous blocks whose
+    /// sizes differ by at most one router. A request for more shards
+    /// than routers is clamped (every shard then owns exactly one
+    /// router); zero shards is clamped to one.
+    pub fn new(topo: &Topology, shards: usize) -> ShardPlan {
+        let n = topo.num_routers();
+        let s = shards.clamp(1, n);
+        // First `n % s` shards take `ceil(n/s)`, the rest `floor(n/s)`:
+        // deterministic, balanced, contiguous.
+        let base = n / s;
+        let extra = n % s;
+        let mut ends = Vec::with_capacity(s);
+        let mut at = 0usize;
+        for k in 0..s {
+            at += base + usize::from(k < extra);
+            ends.push(at);
+        }
+        debug_assert_eq!(at, n);
+        ShardPlan { ends }
+    }
+
+    /// Number of shards in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The router-index range shard `k` owns.
+    pub fn range(&self, k: usize) -> core::ops::Range<usize> {
+        let start = if k == 0 { 0 } else { self.ends[k - 1] };
+        start..self.ends[k]
+    }
+
+    /// All shard ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = core::ops::Range<usize>> + '_ {
+        (0..self.num_shards()).map(|k| self.range(k))
+    }
+
+    /// Which shard owns router index `router`.
+    pub fn shard_of(&self, router: usize) -> usize {
+        debug_assert!(router < *self.ends.last().expect("plan has ≥ 1 shard"));
+        self.ends.partition_point(|&e| e <= router)
+    }
+
+    /// Owned routers of shard `k` that have a topology neighbor outside
+    /// the shard — the seam the cross-shard channels serve.
+    pub fn boundary(&self, topo: &Topology, k: usize) -> Vec<RouterId> {
+        let range = self.range(k);
+        topo.routers()
+            .filter(|r| range.contains(&r.idx()))
+            .filter(|r| {
+                crate::direction::DIR_PORTS
+                    .iter()
+                    .filter_map(|&d| topo.neighbor(*r, d))
+                    .any(|n| !range.contains(&n.idx()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_four_shards_are_row_blocks() {
+        let topo = Topology::mesh8x8();
+        let plan = ShardPlan::new(&topo, 4);
+        assert_eq!(plan.num_shards(), 4);
+        // 64 routers row-major → 16-router blocks = two full rows each.
+        let ranges: Vec<_> = plan.ranges().collect();
+        assert_eq!(ranges, vec![0..16, 16..32, 32..48, 48..64]);
+        for k in 0..4 {
+            for r in plan.range(k) {
+                assert_eq!(plan.shard_of(r), k);
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_split_differs_by_at_most_one() {
+        let topo = Topology::mesh8x8();
+        let plan = ShardPlan::new(&topo, 3);
+        let sizes: Vec<usize> = plan.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        let (min, max) = (
+            *sizes.iter().min().expect("non-empty"),
+            *sizes.iter().max().expect("non-empty"),
+        );
+        assert!(max - min <= 1, "{sizes:?}");
+        // Every shard is non-empty.
+        assert!(min >= 1);
+    }
+
+    #[test]
+    fn oversubscription_clamps_to_single_router_shards() {
+        let topo = Topology::cmesh4x4();
+        let plan = ShardPlan::new(&topo, 99);
+        assert_eq!(plan.num_shards(), 16);
+        assert!(plan.ranges().all(|r| r.len() == 1));
+        // Zero clamps to one shard owning everything.
+        let one = ShardPlan::new(&topo, 0);
+        assert_eq!(one.num_shards(), 1);
+        assert_eq!(one.range(0), 0..16);
+    }
+
+    #[test]
+    fn cmesh_shards_keep_clusters_whole() {
+        // Core ownership follows router ownership: a cmesh router's
+        // four cores can never straddle shards because the plan
+        // partitions routers, not cores.
+        let topo = Topology::cmesh4x4();
+        let plan = ShardPlan::new(&topo, 4);
+        for k in 0..4 {
+            let range = plan.range(k);
+            for r in range.clone() {
+                for core in topo.cores_of_router(RouterId(r as u16)) {
+                    assert!(range.contains(&topo.router_of_core(core).idx()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_is_the_seam_rows() {
+        let topo = Topology::mesh8x8();
+        let plan = ShardPlan::new(&topo, 4);
+        // Shard 0 owns rows 0–1; only row 1 touches shard 1.
+        let b0: Vec<usize> = plan.boundary(&topo, 0).iter().map(|r| r.idx()).collect();
+        assert_eq!(b0, (8..16).collect::<Vec<_>>());
+        // An interior shard has two seam rows.
+        let b1: Vec<usize> = plan.boundary(&topo, 1).iter().map(|r| r.idx()).collect();
+        assert_eq!(b1, (16..32).collect::<Vec<_>>());
+        // A single-shard plan has no seam at all.
+        let whole = ShardPlan::new(&topo, 1);
+        assert!(whole.boundary(&topo, 0).is_empty());
+    }
+}

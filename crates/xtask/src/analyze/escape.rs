@@ -30,9 +30,10 @@ use crate::diag::{Diagnostic, Severity};
 
 pub struct ThreadEscape;
 
-/// Callee names treated as thread-boundary spawn points. Future shard
-/// spawn points join this list (and the DESIGN.md §9 checklist).
-pub const SPAWN_POINTS: [&str; 1] = ["run_indexed"];
+/// Callee names treated as thread-boundary spawn points: the cell
+/// scheduler's fan-out, plus the scoped per-shard workers of the
+/// intra-run engine (`noc::shard::run_sharded`).
+pub const SPAWN_POINTS: [&str; 2] = ["run_indexed", "spawn"];
 
 /// Type names whose capture across a thread boundary is denied.
 const RISKY_TYPES: [&str; 5] = ["RefCell", "Cell", "UnsafeCell", "Rc", "OnceCell"];

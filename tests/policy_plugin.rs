@@ -108,6 +108,7 @@ fn third_party_factory_runs_campaigns_without_touching_modelkind() {
             &registry,
             &EngineOptions {
                 jobs: None,
+                shards: 0,
                 cache: None,
                 sanitize: false,
                 measure: false,
@@ -128,6 +129,7 @@ fn third_party_factory_runs_campaigns_without_touching_modelkind() {
             &registry,
             &EngineOptions {
                 jobs: None,
+                shards: 0,
                 cache: None,
                 sanitize: false,
                 measure: false,
@@ -159,6 +161,7 @@ fn spec_path_replays_a_cache_warmed_by_the_modelkind_path() {
     let cache = RunCache::open(&cache_dir);
     let opts = |cache| EngineOptions {
         jobs: None,
+        shards: 0,
         cache,
         sanitize: false,
         measure: false,
