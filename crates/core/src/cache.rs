@@ -47,7 +47,8 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use dozz_sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 

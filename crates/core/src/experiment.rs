@@ -11,7 +11,8 @@
 //! bit-identical results (see `tests/determinism.rs`).
 
 use std::num::NonZeroUsize;
-use std::sync::{Arc, OnceLock};
+
+use dozz_sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 

@@ -34,7 +34,7 @@
 //! jobs=1 / jobs=8 / warm-cache bit-identity for every registered
 //! policy.
 
-use std::sync::OnceLock;
+use dozz_sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 

@@ -17,13 +17,15 @@
 //!   the single-job configuration literally the sequential engine that
 //!   parallel runs are compared against in `tests/determinism.rs`.
 //!
-//! This module is the only place in the workspace allowed to spawn
-//! threads (`cargo xtask lint` denies `thread::spawn`/`thread::scope`
-//! everywhere else): keeping the fan-out in one audited spot is what
-//! lets the determinism suite vouch for every parallel caller at once.
+//! All synchronization goes through the `dozz_sync` facade (`cargo
+//! xtask analyze`'s `sync-facade` pass denies raw `std::sync` /
+//! `std::thread` outside `crates/sync`), which is what lets
+//! `cargo xtask model-check` drive this scheduler — cursor claims and
+//! scope joins included — through every interleaving.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dozz_sync::atomic::{AtomicUsize, Ordering};
 
 /// A shared injector over `count` tasks: workers steal ascending
 /// indices until the list is drained. Claiming is a single
@@ -90,7 +92,7 @@ where
 
     let injector = Injector::new(count);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    dozz_sync::thread::scope(|scope| {
         // Workers return their (index, result) batches through their
         // join handles; the claiming injector guarantees the index sets
         // are disjoint, so the merge below is plain indexed writes into
@@ -129,7 +131,8 @@ where
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::Mutex;
+
+    use dozz_sync::Mutex;
 
     fn jobs(n: usize) -> NonZeroUsize {
         NonZeroUsize::new(n).expect("test job counts are positive")

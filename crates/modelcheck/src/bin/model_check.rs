@@ -1,0 +1,139 @@
+//! `model-check`: drive every registered harness through the DFS
+//! explorer and write the frozen `MODEL_CHECK.json` report.
+//!
+//! Built and invoked by `cargo xtask model-check`, which supplies the
+//! `--cfg dozz_model` RUSTFLAGS this binary requires (a std build of it
+//! exits 2 rather than silently "verifying" nothing).
+//!
+//! ```text
+//! model-check [--out PATH] [--harness NAME] [--replay NAME:TRACE]
+//! ```
+//!
+//! Exit status: 0 — every explored harness exhausted its tree with no
+//! findings; 1 — findings or non-exhaustion; 2 — usage/configuration.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if !cfg!(dozz_model) {
+        eprintln!(
+            "model-check: built without --cfg dozz_model; the facades are plain std \
+             primitives and nothing can be explored. Run `cargo xtask model-check`."
+        );
+        return ExitCode::from(2);
+    }
+    run()
+}
+
+#[cfg(not(dozz_model))]
+fn run() -> ExitCode {
+    unreachable!("guarded by the cfg! check in main")
+}
+
+#[cfg(dozz_model)]
+fn run() -> ExitCode {
+    use dozznoc_modelcheck::harness::harnesses;
+    use dozznoc_modelcheck::{explore, replay, Config, Report};
+
+    let mut out_path = String::from("MODEL_CHECK.json");
+    let mut only: Option<String> = None;
+    let mut replay_spec: Option<(String, String)> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--harness" => match args.next() {
+                Some(n) => only = Some(n),
+                None => return usage("--harness needs a name"),
+            },
+            "--replay" => match args.next().as_deref().and_then(|s| {
+                s.split_once(':')
+                    .map(|(n, t)| (n.to_string(), t.to_string()))
+            }) {
+                Some(spec) => replay_spec = Some(spec),
+                None => return usage("--replay needs NAME:TRACE"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let all = harnesses();
+    let selected: Vec<_> = all
+        .iter()
+        .filter(|h| match (&only, &replay_spec) {
+            (Some(n), _) => h.name == n,
+            (None, Some((n, _))) => h.name == n,
+            (None, None) => true,
+        })
+        .collect();
+    if selected.is_empty() {
+        let names: Vec<_> = all.iter().map(|h| h.name).collect();
+        return usage(&format!("no harness matched; known: {names:?}"));
+    }
+
+    let mut outcomes = Vec::new();
+    for h in &selected {
+        let cfg = Config {
+            preemption_bound: h.preemption_bound,
+            max_executions: h.max_executions,
+            ..Config::default()
+        };
+        let outcome = match &replay_spec {
+            Some((_, trace)) => replay(h.name, &cfg, trace, &h.body),
+            None => explore(h.name, &cfg, &h.body),
+        };
+        let status = if outcome.clean() {
+            "clean"
+        } else if outcome.findings.is_empty() {
+            "NOT EXHAUSTED"
+        } else {
+            "FINDINGS"
+        };
+        println!(
+            "{:<22} {:>8} executions {:>9} steps  bound={:?}  {}",
+            outcome.harness, outcome.executions, outcome.steps, outcome.preemption_bound, status,
+        );
+        for f in &outcome.findings {
+            println!(
+                "  [{:?}] {}\n    trace: {:?}  seed: {:016x}\n    replay: cargo xtask \
+                 model-check --replay {}:{}",
+                f.kind, f.message, f.trace, f.seed, f.harness, f.trace
+            );
+            for step in &f.schedule {
+                println!("      {step}");
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let report = Report::new(outcomes);
+    let clean = match &replay_spec {
+        // A replay run re-executes one recorded trace; "clean" then
+        // means the replay itself surfaced nothing *new* is not a
+        // meaningful gate, so report findings verbatim.
+        Some(_) => report.outcomes.iter().all(|o| o.findings.is_empty()),
+        None => report.all_clean(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("model-check: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("report: {out_path}");
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg_attr(not(dozz_model), allow(dead_code))]
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("model-check: {msg}");
+    eprintln!("usage: model-check [--out PATH] [--harness NAME] [--replay NAME:TRACE]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,67 @@
+//! Vector clocks for the happens-before relation.
+
+/// A grow-on-demand vector clock over model thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `tid` (0 if never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set component `tid` to `v`.
+    pub fn set(&mut self, tid: usize, v: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+
+    /// Advance component `tid` by one and return the new value.
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Does this clock happen-at-or-after the epoch `(tid, v)`?
+    pub fn covers(&self, tid: usize, v: u32) -> bool {
+        self.get(tid) >= v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_covers_tracks_epochs() {
+        let mut a = VClock::new();
+        assert_eq!(a.tick(2), 1);
+        assert_eq!(a.tick(2), 2);
+        let mut b = VClock::new();
+        b.tick(0);
+        b.join(&a);
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(2), 2);
+        assert!(b.covers(2, 2));
+        assert!(!b.covers(2, 3));
+        assert!(b.covers(5, 0), "unknown components are zero");
+    }
+}

@@ -1,0 +1,229 @@
+//! The DFS decision stack and its replayable trace encoding.
+//!
+//! Every nondeterministic point of an execution — which enabled thread
+//! runs the next pending operation, and which store a `Relaxed` load
+//! observes — is a `choose(options)` call. Points with a single option
+//! are forced and not recorded, so the stack is exactly the branching
+//! structure of the execution tree and backtracking is the classic
+//! stateless-DFS step: bump the deepest entry that still has an
+//! unexplored sibling, truncate below it, replay the prefix.
+//!
+//! A trace is the `.`-joined chosen indices (`""` for the straight-line
+//! execution). Replaying a trace reproduces the recorded execution
+//! byte-for-byte because every other aspect of an execution is a pure
+//! function of these choices.
+
+/// One recorded branch point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Dec {
+    chosen: usize,
+    options: usize,
+}
+
+/// How the stack treats choices past the recorded prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// DFS: extend with the first option and record.
+    Explore,
+    /// Replay: past-the-end choices are a divergence error.
+    Replay,
+}
+
+/// The decision stack; persists across executions of one exploration.
+#[derive(Debug)]
+pub struct Decisions {
+    stack: Vec<Dec>,
+    pos: usize,
+    mode: Mode,
+    /// Set when a replayed prefix disagrees with the execution (an
+    /// options-count mismatch or a past-the-end choice in replay mode):
+    /// the harness is nondeterministic beyond its facade touchpoints.
+    pub diverged: Option<String>,
+}
+
+impl Decisions {
+    /// A fresh DFS stack.
+    pub fn explore() -> Self {
+        Decisions {
+            stack: Vec::new(),
+            pos: 0,
+            mode: Mode::Explore,
+            diverged: None,
+        }
+    }
+
+    /// A replay stack over a decoded trace.
+    pub fn replay(trace: &str) -> Result<Self, String> {
+        let mut stack = Vec::new();
+        for part in trace.split('.').filter(|p| !p.is_empty()) {
+            let chosen: usize = part
+                .parse()
+                .map_err(|_| format!("bad trace element {part:?}"))?;
+            // The true option count is re-derived during replay; until
+            // then it only needs to satisfy `chosen < options`.
+            stack.push(Dec {
+                chosen,
+                options: chosen + 1,
+            });
+        }
+        Ok(Decisions {
+            stack,
+            pos: 0,
+            mode: Mode::Replay,
+            diverged: None,
+        })
+    }
+
+    /// Rewind to the start of the (possibly mutated) stack for the next
+    /// execution.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+        self.diverged = None;
+    }
+
+    /// Record/replay one branch point with `options` alternatives.
+    pub fn choose(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if self.pos < self.stack.len() {
+            let d = &mut self.stack[self.pos];
+            if self.mode == Mode::Explore && d.chosen >= options {
+                // Cannot happen for a deterministic harness: the prefix
+                // is byte-identical, so option counts match.
+                self.diverged = Some(format!(
+                    "replayed choice {} of {} at depth {}",
+                    d.chosen, options, self.pos
+                ));
+            }
+            d.options = options;
+            self.pos += 1;
+            return d.chosen.min(options - 1);
+        }
+        if self.mode == Mode::Replay {
+            self.diverged = Some(format!(
+                "execution needed a choice past the recorded trace (depth {}, {} options)",
+                self.pos, options
+            ));
+            self.pos += 1;
+            return 0;
+        }
+        self.stack.push(Dec { chosen: 0, options });
+        self.pos += 1;
+        0
+    }
+
+    /// Prepare the next DFS leaf: bump the deepest entry with an
+    /// unexplored sibling, drop everything below it. `false` when the
+    /// tree is exhausted.
+    pub fn backtrack(&mut self) -> bool {
+        // Entries beyond `pos` are stale (from a longer abandoned
+        // sibling) and must not resurrect.
+        self.stack.truncate(self.pos);
+        while let Some(last) = self.stack.last_mut() {
+            if last.chosen + 1 < last.options {
+                last.chosen += 1;
+                self.rewind();
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    /// Encode the decisions taken this execution as a trace string.
+    pub fn trace(&self) -> String {
+        self.stack[..self.pos]
+            .iter()
+            .map(|d| d.chosen.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_enumerates_the_full_tree_in_order() {
+        // A fixed 3-level shape: 2 × 1 × 3 options → 6 leaves.
+        let mut d = Decisions::explore();
+        let mut leaves = Vec::new();
+        loop {
+            let a = d.choose(2);
+            let b = d.choose(1);
+            let c = d.choose(3);
+            leaves.push((a, b, c));
+            if !d.backtrack() {
+                break;
+            }
+        }
+        assert_eq!(
+            leaves,
+            vec![
+                (0, 0, 0),
+                (0, 0, 1),
+                (0, 0, 2),
+                (1, 0, 0),
+                (1, 0, 1),
+                (1, 0, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn traces_round_trip_and_replay_matches() {
+        let mut d = Decisions::explore();
+        d.choose(3);
+        d.choose(2);
+        assert_eq!(d.trace(), "0.0");
+        assert!(d.backtrack());
+        d.choose(3);
+        d.choose(2);
+        assert_eq!(d.trace(), "0.1");
+
+        let mut r = Decisions::replay("0.1").expect("trace parses");
+        assert_eq!(r.choose(3), 0);
+        assert_eq!(r.choose(2), 1);
+        assert!(r.diverged.is_none());
+        assert_eq!(r.trace(), "0.1");
+        // A divergence (extra choice) is flagged, not silently explored.
+        r.choose(2);
+        assert!(r.diverged.is_some());
+    }
+
+    #[test]
+    fn forced_choices_are_not_recorded() {
+        let mut d = Decisions::explore();
+        assert_eq!(d.choose(1), 0);
+        assert_eq!(d.choose(1), 0);
+        assert_eq!(d.trace(), "");
+        assert!(!d.backtrack(), "no branch points → exhausted after one");
+    }
+
+    #[test]
+    fn backtrack_discards_stale_deeper_entries() {
+        // A lopsided tree: the second branch point only exists under
+        // the first option, so the stale depth-2 entry must not leak
+        // into the `1` subtree.
+        let mut d = Decisions::explore();
+        let mut leaves = Vec::new();
+        loop {
+            let a = d.choose(2);
+            let b = (a == 0).then(|| d.choose(2));
+            leaves.push((a, b, d.trace()));
+            if !d.backtrack() {
+                break;
+            }
+        }
+        assert_eq!(
+            leaves,
+            vec![
+                (0, Some(0), "0.0".to_string()),
+                (0, Some(1), "0.1".to_string()),
+                (1, None, "1".to_string()),
+            ]
+        );
+    }
+}

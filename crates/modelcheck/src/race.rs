@@ -1,0 +1,94 @@
+//! [`RaceCell`]: deliberately unsynchronized shared state for
+//! modelling non-atomic data (file contents, plain fields) in
+//! harnesses.
+//!
+//! Under `--cfg dozz_model` every access reports to the model runtime,
+//! which flags any read/write or write/write pair not ordered by
+//! happens-before as a [`DataRace`](crate::report::FindingKind::DataRace)
+//! finding. In a normal std build the cell is a plain `UnsafeCell`
+//! with no synchronization at all — exactly the shape ThreadSanitizer
+//! instruments, so the same harness bodies double as TSan stress tests
+//! (see `nightly.yml`).
+
+use std::cell::UnsafeCell;
+
+/// Shared, intentionally lock-free storage for a `Copy` value.
+///
+/// Safety contract: the *harness* is responsible for ordering accesses
+/// via `dozz_sync` primitives; the whole point of the type is that the
+/// checker (or TSan) catches it when the harness fails to.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    label: &'static str,
+    inner: UnsafeCell<T>,
+}
+
+// The model runtime serializes all model threads, so accesses are never
+// physically concurrent under dozz_model. In std builds concurrent use
+// is a genuine data race — that is what TSan mode exists to observe.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    pub const fn new(label: &'static str, value: T) -> Self {
+        RaceCell {
+            label,
+            inner: UnsafeCell::new(value),
+        }
+    }
+
+    #[cfg(dozz_model)]
+    fn id(&self) -> usize {
+        self.inner.get() as usize
+    }
+
+    /// Read the value (a racy read unless the harness ordered it).
+    pub fn get(&self) -> T {
+        #[cfg(dozz_model)]
+        {
+            let id = self.id();
+            dozz_sync::rt_api::with_rt(|rt| rt.race_read(id, self.label));
+        }
+        unsafe { *self.inner.get() }
+    }
+
+    /// Write the value (a racy write unless the harness ordered it).
+    pub fn set(&self, value: T) {
+        #[cfg(dozz_model)]
+        {
+            let id = self.id();
+            dozz_sync::rt_api::with_rt(|rt| rt.race_write(id, self.label));
+        }
+        unsafe {
+            *self.inner.get() = value;
+        }
+    }
+
+    /// The label accesses are reported under.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl<T> Drop for RaceCell<T> {
+    fn drop(&mut self) {
+        #[cfg(dozz_model)]
+        {
+            let id = self.inner.get() as usize;
+            dozz_sync::rt_api::with_rt(|rt| rt.forget(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_access_is_plain_storage() {
+        let c = RaceCell::new("unit", 7u64);
+        assert_eq!(c.get(), 7);
+        c.set(9);
+        assert_eq!(c.get(), 9);
+        assert_eq!(c.label(), "unit");
+    }
+}

@@ -1,0 +1,177 @@
+//! Seeded-defect fixtures: known-bad concurrency protocols the checker
+//! MUST find, with traces that replay byte-for-byte.
+//!
+//! These are the calibration standard for `cargo xtask model-check`:
+//! a checker that explores the real tree to exhaustion but cannot
+//! detect the torn tmp-file publish that PR 8 fixed, or a barrier with
+//! its count-reset/generation-release stores swapped, is vacuous.
+#![cfg(dozz_model)]
+
+use dozz_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use dozznoc_modelcheck::{explore, replay, Config, FindingKind, RaceCell};
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: Some(2),
+        ..Config::default()
+    }
+}
+
+/// The pre-PR-8 `RunCache::put`: no tmp-name salt, so two concurrent
+/// writers of one key write *the same* tmp file before renaming it
+/// into place — a torn entry the checker must flag as a data race.
+fn torn_tmp_publish() {
+    let tmp = RaceCell::new("shared-tmp-file", 0u64);
+    let published = AtomicUsize::new(0);
+    dozz_sync::thread::scope(|s| {
+        for w in 1..=2u64 {
+            let (tmp, published) = (&tmp, &published);
+            s.spawn(move || {
+                tmp.set(100 + w); // both writers tear one tmp file
+                published.store(1, Ordering::Release);
+            });
+        }
+    });
+    assert_eq!(published.load(Ordering::Acquire), 1);
+}
+
+#[test]
+fn checker_finds_the_torn_tmp_file_race() {
+    let outcome = explore("torn_tmp_publish", &cfg(), &torn_tmp_publish);
+    assert_eq!(
+        outcome.findings.len(),
+        1,
+        "the unsalted publish protocol must produce a finding: {outcome:?}"
+    );
+    let f = &outcome.findings[0];
+    assert_eq!(f.kind, FindingKind::DataRace, "finding: {f:?}");
+    assert!(
+        f.message.contains("shared-tmp-file"),
+        "the race names the torn file: {}",
+        f.message
+    );
+
+    // The trace replays the identical execution: same kind, same
+    // message, same schedule, byte for byte.
+    let again = replay("torn_tmp_publish", &cfg(), &f.trace, &torn_tmp_publish);
+    assert_eq!(again.findings.len(), 1, "replay reproduces: {again:?}");
+    assert_eq!(
+        serde_json::to_string(&again.findings[0]).expect("finding serializes"),
+        serde_json::to_string(f).expect("finding serializes"),
+        "replayed finding is byte-identical"
+    );
+}
+
+/// `noc::shard::SpinBarrier` with the documented hazard seeded in: the
+/// generation release happens *before* the count reset. A waiter
+/// released by the new generation can re-enter the next rendezvous and
+/// increment `count` before the reset store lands — the reset then
+/// erases its arrival and the rendezvous never completes.
+struct MutatedBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    members: usize,
+}
+
+impl MutatedBarrier {
+    fn new(members: usize) -> Self {
+        MutatedBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            members,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
+            // SEEDED BUG (generation off-by-one window): the real
+            // barrier resets `count` before releasing `generation`.
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            self.count.store(0, Ordering::Release);
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                dozz_sync::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn lost_arrival_barrier() {
+    let bar = MutatedBarrier::new(2);
+    dozz_sync::thread::scope(|s| {
+        let peer = s.spawn(|| {
+            bar.wait();
+            bar.wait();
+        });
+        bar.wait();
+        bar.wait();
+        peer.join().expect("peer survives both rendezvous");
+    });
+}
+
+#[test]
+fn checker_finds_the_lost_barrier_arrival() {
+    let outcome = explore("lost_arrival_barrier", &cfg(), &lost_arrival_barrier);
+    assert_eq!(
+        outcome.findings.len(),
+        1,
+        "the mutated barrier must produce a finding: {outcome:?}"
+    );
+    let f = &outcome.findings[0];
+    assert!(
+        matches!(f.kind, FindingKind::LostWakeup | FindingKind::Deadlock),
+        "a lost arrival hangs the rendezvous: {f:?}"
+    );
+
+    let again = replay(
+        "lost_arrival_barrier",
+        &cfg(),
+        &f.trace,
+        &lost_arrival_barrier,
+    );
+    assert_eq!(again.findings.len(), 1, "replay reproduces: {again:?}");
+    assert_eq!(
+        serde_json::to_string(&again.findings[0]).expect("finding serializes"),
+        serde_json::to_string(f).expect("finding serializes"),
+        "replayed finding is byte-identical"
+    );
+}
+
+/// The *fixed* shapes of both fixtures stay clean under the identical
+/// exploration config — the findings above are properties of the seeded
+/// defects, not artifacts of the checker.
+#[test]
+fn fixed_counterparts_are_clean() {
+    let salted = || {
+        let t0 = RaceCell::new("tmp-0", 0u64);
+        let t1 = RaceCell::new("tmp-1", 0u64);
+        let salt = AtomicU64::new(0);
+        dozz_sync::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let slot = salt.fetch_add(1, Ordering::SeqCst);
+                    if slot == 0 { &t0 } else { &t1 }.set(slot);
+                });
+            }
+        });
+    };
+    let outcome = explore("salted_tmp_publish", &cfg(), &salted);
+    assert!(outcome.clean(), "salted publish protocol: {outcome:?}");
+
+    let real_barrier = || {
+        let bar = dozznoc_noc::shard::SpinBarrier::new(2, 0);
+        dozz_sync::thread::scope(|s| {
+            let peer = s.spawn(|| {
+                bar.wait();
+                bar.wait();
+            });
+            bar.wait();
+            bar.wait();
+            peer.join().expect("peer survives both rendezvous");
+        });
+    };
+    let outcome = explore("real_spin_barrier", &cfg(), &real_barrier);
+    assert!(outcome.clean(), "the real SpinBarrier: {outcome:?}");
+}

@@ -48,8 +48,8 @@
 //! routers) fall back to one shard. The engine-selection layer in
 //! `dozznoc-core` enforces this.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use dozz_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use dozz_sync::Mutex;
 
 use dozznoc_power::MlOverhead;
 use dozznoc_topology::{ShardPlan, DIR_PORTS};
@@ -108,29 +108,60 @@ struct Pulse {
 /// `Release` store of `generation` that waiters `Acquire`-load — so
 /// everything written before the barrier by any thread happens-before
 /// everything after it on every thread. No `Relaxed` anywhere.
-struct SpinBarrier {
+///
+/// Public (rather than engine-private) so the `dozznoc-modelcheck`
+/// harnesses can drive the real barrier — generation protocol, poison
+/// path and all — through every interleaving.
+pub struct SpinBarrier {
     /// Arrivals in the current generation.
     count: AtomicUsize,
     /// Generation counter; waiters spin until it moves.
     generation: AtomicUsize,
     /// Thread count per rendezvous.
     members: usize,
+    /// Spins before a waiter starts yielding its timeslice.
+    spin_budget: u32,
     /// Set by a panicking worker's drop guard so the surviving workers
     /// panic out of their spin loops instead of hanging the process.
     poisoned: AtomicBool,
 }
 
+/// Spin budget for a host with `parallelism` usable cores: on a 1-core
+/// host the peer *cannot* be running, so every spin iteration is pure
+/// waste that delays the scheduler switch — yield immediately instead.
+pub fn spin_budget_for(parallelism: usize) -> u32 {
+    if parallelism <= 1 {
+        0
+    } else {
+        128
+    }
+}
+
+/// [`spin_budget_for`] of the current host.
+fn host_spin_budget() -> u32 {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    spin_budget_for(parallelism)
+}
+
 impl SpinBarrier {
-    fn new(members: usize) -> Self {
+    /// A barrier for `members` threads that busy-spins `spin_budget`
+    /// iterations per rendezvous before yielding.
+    pub fn new(members: usize, spin_budget: u32) -> Self {
         SpinBarrier {
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
             members,
+            spin_budget,
             poisoned: AtomicBool::new(false),
         }
     }
 
-    fn wait(&self) {
+    /// Block until all `members` threads have arrived.
+    ///
+    /// # Panics
+    /// When the barrier is [`poison`](Self::poison)ed, so survivors
+    /// unwind instead of spinning forever on a dead rendezvous.
+    pub fn wait(&self) {
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
             // Last arrival: reset the count *before* releasing the
@@ -148,11 +179,11 @@ impl SpinBarrier {
                 // Bounded spin first (the peer is typically one short
                 // window behind), then yield so an oversubscribed host
                 // can schedule the stragglers this waiter is waiting on.
-                if spins < 128 {
+                if spins < self.spin_budget {
                     spins += 1;
-                    std::hint::spin_loop();
+                    dozz_sync::hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    dozz_sync::thread::yield_now();
                 }
             }
         }
@@ -160,17 +191,30 @@ impl SpinBarrier {
             panic!("shard barrier poisoned by a panicked worker");
         }
     }
+
+    /// Mark the rendezvous dead: every current and future waiter
+    /// panics out of [`wait`](Self::wait).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
 }
 
 /// Drop guard: a worker unwinding past this poisons the barrier so its
 /// peers panic out of their spins and `thread::scope` can propagate the
 /// original panic instead of deadlocking.
-struct PoisonOnPanic<'a>(&'a SpinBarrier);
+pub struct PoisonOnPanic<'a>(&'a SpinBarrier);
+
+impl<'a> PoisonOnPanic<'a> {
+    /// Arm the guard for `barrier`.
+    pub fn new(barrier: &'a SpinBarrier) -> Self {
+        PoisonOnPanic(barrier)
+    }
+}
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.poisoned.store(true, Ordering::Release);
+            self.0.poison();
         }
     }
 }
@@ -270,7 +314,7 @@ pub fn run_sharded(
         })
         .collect();
 
-    let barrier = SpinBarrier::new(s);
+    let barrier = SpinBarrier::new(s, host_spin_budget());
     let mail: Vec<Vec<Mutex<Vec<Msg>>>> = (0..s)
         .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
         .collect();
@@ -291,7 +335,7 @@ pub fn run_sharded(
         pulses: &pulses,
     };
 
-    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+    let outcomes: Vec<ShardOutcome> = dozz_sync::thread::scope(|scope| {
         let handles: Vec<_> = (0..s)
             .map(|k| {
                 let shared = &shared;
@@ -324,7 +368,7 @@ fn shard_worker(
     sh: &Shared<'_>,
     policy_build: &(dyn Fn(usize) -> Box<dyn PowerPolicy> + Sync),
 ) -> ShardOutcome {
-    let _poison = PoisonOnPanic(sh.barrier);
+    let _poison = PoisonOnPanic::new(sh.barrier);
     let s = sh.plan.num_shards();
     let mut policy = policy_build(k);
     let ml_overhead = policy.ml_features().map(MlOverhead::for_features);
@@ -492,6 +536,22 @@ mod tests {
             let p = AlwaysMode::new(Mode::M5);
             Box::new(if gating { p.with_gating() } else { p })
         }
+    }
+
+    #[test]
+    fn one_core_hosts_skip_the_spin_phase() {
+        assert_eq!(spin_budget_for(0), 0);
+        assert_eq!(spin_budget_for(1), 0, "1-core: the peer cannot be running");
+        assert_eq!(spin_budget_for(2), 128);
+        assert_eq!(spin_budget_for(64), 128);
+        // A zero-budget barrier still rendezvouses — the waiter goes
+        // straight to the yield path.
+        let b = SpinBarrier::new(2, 0);
+        dozz_sync::thread::scope(|s| {
+            let h = s.spawn(|| b.wait());
+            b.wait();
+            h.join().expect("zero-budget waiter completes");
+        });
     }
 
     #[test]

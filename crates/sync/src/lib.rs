@@ -1,0 +1,98 @@
+//! Drop-in concurrency facades for the workspace.
+//!
+//! Every concurrency primitive the workspace uses — mutexes, atomics,
+//! scoped threads, yields and spin hints — is imported from this crate
+//! instead of `std`. In a normal build the facades are plain
+//! re-exports (zero-cost passthrough, proven bit-identical by the
+//! determinism goldens). Under `--cfg dozz_model` the same API routes
+//! every operation through the [`rt_api::ModelRt`] runtime installed by
+//! `dozznoc-modelcheck`, which turns each touchpoint into a scheduling
+//! point of a deterministic interleaving explorer.
+//!
+//! The `sync-facade` pass of `cargo xtask analyze` denies raw
+//! `std::sync`/`std::thread::spawn`/`std::hint::spin_loop` use outside
+//! this crate, so "the model checker sees every primitive" is a
+//! statically enforced invariant, not a convention (DESIGN.md §13).
+//!
+//! Facade surface:
+//!
+//! * [`Mutex`] / [`MutexGuard`] — mirrors `std::sync::Mutex` (poisoning
+//!   included).
+//! * [`atomic`] — `AtomicUsize`, `AtomicBool`, `AtomicU64` and the
+//!   `Ordering` re-export.
+//! * [`thread`] — `scope`/`spawn`, `yield_now`, plus passthroughs for
+//!   the non-scheduling helpers (`available_parallelism`, `panicking`,
+//!   `current`).
+//! * [`hint::spin_loop`] — a scheduling yield under the model (a spin
+//!   that never yields would livelock a deterministic scheduler).
+//! * [`Arc`] / [`OnceLock`] — passthrough in both modes: immutable
+//!   once set, so there is no interleaving to explore; re-exported here
+//!   so callers need no `std::sync` import at all.
+
+#[cfg(dozz_model)]
+pub mod rt_api;
+
+#[cfg(dozz_model)]
+mod model;
+
+// ---------------------------------------------------------------------
+// Passthrough mode: the facade IS std.
+// ---------------------------------------------------------------------
+
+#[cfg(not(dozz_model))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(not(dozz_model))]
+pub mod atomic {
+    //! Facade atomics (std passthrough).
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(dozz_model))]
+pub mod thread {
+    //! Facade threads (std passthrough).
+    pub use std::thread::{
+        available_parallelism, current, panicking, scope, spawn, yield_now, JoinHandle, Scope,
+        ScopedJoinHandle,
+    };
+}
+
+#[cfg(not(dozz_model))]
+pub mod hint {
+    //! Facade spin hint (std passthrough).
+    pub use std::hint::spin_loop;
+}
+
+// ---------------------------------------------------------------------
+// Model mode: the facade routes through the installed runtime.
+// ---------------------------------------------------------------------
+
+#[cfg(dozz_model)]
+pub use model::{Mutex, MutexGuard};
+
+#[cfg(dozz_model)]
+pub mod atomic {
+    //! Facade atomics (instrumented).
+    pub use crate::model::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(dozz_model)]
+pub mod thread {
+    //! Facade threads (instrumented).
+    pub use crate::model::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+    pub use std::thread::{available_parallelism, current, panicking};
+}
+
+#[cfg(dozz_model)]
+pub mod hint {
+    //! Facade spin hint (instrumented: a spin is a scheduling yield).
+    pub use crate::model::hint::spin_loop;
+}
+
+// `Arc` and `OnceLock` are passthrough in both modes: `Arc`'s refcount
+// is invisible to safe code and `OnceLock` is write-once (the single
+// `set` is ordered by its own internal synchronization; there is no
+// protocol for the explorer to permute). Re-exported so migrated crates
+// never need a raw `std::sync` import.
+pub use std::sync::{Arc, OnceLock};

@@ -4,7 +4,7 @@
 //! runs typed semantic passes over the item/token trees. Where
 //! `cargo xtask lint`'s string scans see characters, these passes see
 //! structure: token adjacency, function signatures, attributes, and an
-//! intra-crate call graph. Nine passes ship (see the submodules):
+//! intra-crate call graph. Ten passes ship (see the submodules):
 //!
 //! | rule               | severity       | what it catches                         |
 //! |--------------------|----------------|-----------------------------------------|
@@ -17,6 +17,7 @@
 //! | `lock-discipline`  | deny           | lock-order cycles, incoherent atomics   |
 //! | `determinism-taint`| deny           | clocks/env/hash-order in the engine     |
 //! | `unit-flow`        | deny           | tick/cycle mixing across call sites     |
+//! | `sync-facade`      | deny           | raw `std::sync`/`std::thread` outside the facade |
 //!
 //! The last four run on the expression-level AST (`syn::parse_block`)
 //! and the workspace call graph (`callgraph`) — they gate the upcoming
@@ -36,6 +37,7 @@ pub mod float_cmp;
 pub mod locks;
 pub mod must_use;
 pub mod panic_reach;
+pub mod sync_facade;
 pub mod unit_consistency;
 pub mod unit_flow;
 
@@ -48,7 +50,7 @@ use syn::{Delim, Item, ItemFn, Tok, Token};
 use crate::diag::{apply_suppressions, Baseline, Diagnostic, Report, Severity};
 
 /// Rule IDs the analyzer can emit; suppression markers must name one.
-pub const ANALYZE_RULES: [&str; 11] = [
+pub const ANALYZE_RULES: [&str; 12] = [
     "parse-error",
     "unit-consistency",
     "panic-reachability",
@@ -59,6 +61,7 @@ pub const ANALYZE_RULES: [&str; 11] = [
     "lock-discipline",
     "determinism-taint",
     "unit-flow",
+    "sync-facade",
     "suppression-hygiene",
 ];
 
@@ -158,6 +161,7 @@ pub fn passes() -> Vec<Box<dyn Pass>> {
         Box::new(locks::LockDiscipline),
         Box::new(determinism::DeterminismTaint),
         Box::new(unit_flow::UnitFlow),
+        Box::new(sync_facade::SyncFacade),
     ]
 }
 

@@ -1,6 +1,6 @@
 //! `cargo xtask` — project automation for the DozzNoC reproduction.
 //!
-//! Two subcommands, one diagnostics engine (`xtask::diag`):
+//! Four subcommands, one diagnostics engine (`xtask::diag`):
 //!
 //! - **`lint [--skip-clippy]`** — the fast path. Workspace clippy with
 //!   warnings denied, the advisory `clippy::indexing_slicing` sweep
@@ -29,7 +29,19 @@
 //!   `deny` or `warn` fails the build. `--json` additionally writes the
 //!   machine-readable report (CI uploads it next to the bench
 //!   artifacts); `--write-baseline` regenerates the baseline from the
-//!   current findings instead of gating on them.
+//!   current findings instead of gating on them. The tenth pass,
+//!   `sync-facade`, is the static half of the model-check story: it
+//!   denies raw `std::sync`/`std::thread`/`std::hint::spin_loop`
+//!   outside `crates/sync`, so every synchronization point in the
+//!   workspace is one the checker can permute.
+//! - **`model-check [--harness NAME] [--replay NAME:TRACE] [--out PATH]
+//!   [--skip-tests]`** — the dynamic half. Rebuilds the workspace under
+//!   `--cfg dozz_model` (the `dozz_sync` facades swap to the
+//!   instrumented runtime), proves the checker still detects the two
+//!   seeded defects (modelcheck's test suite), then explores every
+//!   registered harness to exhaustion within its bounded budget and
+//!   writes the frozen `MODEL_CHECK.json` report. Non-zero exit on any
+//!   finding, on non-exhaustion, or on a missed seeded defect.
 
 use std::path::Path;
 use std::process::{Command, ExitCode};
@@ -55,8 +67,9 @@ fn main() -> ExitCode {
             run_analyze(json.as_deref(), write_baseline)
         }
         Some("bench") => bench::run(&args[1..]),
+        Some("model-check") => model_check(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|analyze|bench> [options]");
+            eprintln!("usage: cargo xtask <lint|analyze|bench|model-check> [options]");
             eprintln!();
             eprintln!("  lint                workspace clippy (-D warnings), advisory");
             eprintln!("                      indexing_slicing sweep, and the string scans");
@@ -81,6 +94,19 @@ fn main() -> ExitCode {
             eprintln!("    --write-baseline  also refresh crates/xtask/bench-baseline.json");
             eprintln!("    --out PATH        matrix output path (default BENCH_matrix.json)");
             eprintln!("    --skip-build      reuse an existing release dozz-repro binary");
+            eprintln!();
+            eprintln!("  model-check         exhaustive bounded interleaving exploration of the");
+            eprintln!("                      dozz_sync harnesses under --cfg dozz_model: runs the");
+            eprintln!(
+                "                      modelcheck test suite (seeded-defect detection proof)"
+            );
+            eprintln!("                      then every registered harness, writing the frozen");
+            eprintln!("                      MODEL_CHECK.json report; non-zero exit on findings,");
+            eprintln!("                      non-exhaustion, or an undetected seeded defect");
+            eprintln!("    --skip-tests      explore the harnesses only (no detection proof)");
+            eprintln!("    --harness NAME    explore a single harness");
+            eprintln!("    --replay NAME:TRACE  re-run one recorded execution byte-for-byte");
+            eprintln!("    --out PATH        report path (default MODEL_CHECK.json)");
             ExitCode::FAILURE
         }
     }
@@ -201,6 +227,76 @@ fn run_analyze(json: Option<&str>, write_baseline: bool) -> ExitCode {
     } else {
         println!("xtask analyze: OK");
         ExitCode::SUCCESS
+    }
+}
+
+/// `cargo xtask model-check`: build the workspace under
+/// `--cfg dozz_model` (facades swap to the instrumented runtime) in its
+/// own target directory, prove the checker still detects the seeded
+/// defects (the modelcheck test suite), then explore every registered
+/// harness to exhaustion and write the frozen JSON report.
+fn model_check(args: &[String]) -> ExitCode {
+    let root = scans::workspace_root();
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags
+        .split_whitespace()
+        .any(|f| f == "dozz_model" || f == "--cfg=dozz_model")
+    {
+        rustflags.push_str(" --cfg dozz_model");
+    }
+    // A separate target dir: the model build must not evict (or be
+    // evicted by) the std build's cache, and nothing std-built may leak
+    // into the instrumented run.
+    let target_dir = root.join("target/model-check");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let skip_tests = args.iter().any(|a| a == "--skip-tests");
+
+    if !skip_tests {
+        println!("xtask model-check: detection proof (cargo test -p dozznoc-modelcheck)");
+        let ok = Command::new(&cargo)
+            .args(["test", "-q", "-p", "dozznoc-modelcheck"])
+            .env("RUSTFLAGS", rustflags.trim())
+            .env("CARGO_TARGET_DIR", &target_dir)
+            .current_dir(&root)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !ok {
+            eprintln!(
+                "xtask model-check: detection proof FAILED — the checker no longer \
+                 finds the seeded defects (or a harness regressed)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("xtask model-check: exploring harnesses");
+    let forwarded: Vec<&String> = args.iter().filter(|a| *a != "--skip-tests").collect();
+    let status = Command::new(&cargo)
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "dozznoc-modelcheck",
+            "--bin",
+            "model-check",
+            "--",
+        ])
+        .args(&forwarded)
+        .env("RUSTFLAGS", rustflags.trim())
+        .env("CARGO_TARGET_DIR", &target_dir)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            println!("xtask model-check: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask model-check: cargo run failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -1,0 +1,19 @@
+//! sync-facade fixture: raw std primitives outside `crates/sync`, every
+//! one a synchronization point the model checker cannot see.
+use std::sync::Mutex;
+
+static FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+pub fn raw_sync_everywhere() {
+    let _state = Mutex::new(0u32);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !FLAG.load(std::sync::atomic::Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+        });
+    });
+    // Host observers stay allowed: no synchronization is created.
+    let _cores = std::thread::available_parallelism();
+    let _unwinding = std::thread::panicking();
+}

@@ -1,0 +1,11 @@
+//! sync-facade fixture: the same raw primitives, each carrying a
+//! justified waiver with the coverage argument.
+
+pub fn wrapped_for_a_reason() {
+    // xtask-analyze: allow(sync-facade) — fixture: wraps the primitive below the facade
+    let _state = std::sync::Mutex::new(0u32);
+    // xtask-analyze: allow(sync-facade) — fixture: scheduling hint below the facade
+    std::thread::yield_now();
+    // xtask-analyze: allow(sync-facade) — fixture: spin hint below the facade
+    std::hint::spin_loop();
+}
